@@ -1,0 +1,34 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's figures through the
+simulated stack, saves the data table under ``benchmarks/results/``,
+prints it, and asserts the figure's qualitative shape.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_figure(results_dir, capsys):
+    """Save + show a FigureData table."""
+
+    def _record(data, name=None):
+        name = name or data.figure.replace(" ", "").lower()
+        text = data.table() if hasattr(data, "table") else str(data)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print("\n" + text)
+        return data
+
+    return _record

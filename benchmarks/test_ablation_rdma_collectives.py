@@ -1,0 +1,68 @@
+"""Ablation E — RDMA-based collectives (§9 future work, Gupta et al.
+[21]).
+
+Direct-RDMA barrier/broadcast vs the point-to-point implementations:
+skipping CH3 packet headers, matching and progress-engine overhead
+shaves per-round latency.
+"""
+
+from repro.bench.figures import FigureData
+from repro.mpi import run_mpi
+from repro.mpi.collectives_rdma import RdmaCollectives
+
+ITERS = 30
+
+
+def _timing_prog(mpi, which):
+    rc = yield from RdmaCollectives.create(mpi.COMM_WORLD)
+    buf = mpi.alloc(512)
+    yield from mpi.Barrier()
+    # measure the barrier baseline (it brackets each bcast epoch so
+    # successive broadcasts cannot pipeline into each other — we want
+    # per-operation latency, not streamed throughput)
+    tb = mpi.wtime()
+    for _ in range(ITERS):
+        yield from rc.barrier()
+    barrier_cost = (mpi.wtime() - tb) / ITERS
+    t0 = mpi.wtime()
+    for _ in range(ITERS):
+        if which == "rdma_barrier":
+            yield from rc.barrier()
+        elif which == "p2p_barrier":
+            yield from mpi.Barrier()
+        elif which == "rdma_bcast":
+            yield from rc.bcast(buf, root=0)
+            yield from rc.barrier()
+        else:
+            yield from mpi.Bcast(buf, root=0)
+            yield from rc.barrier()
+    per_op = (mpi.wtime() - t0) / ITERS
+    if which.endswith("bcast"):
+        per_op -= barrier_cost
+    return per_op * 1e6
+
+
+def _sweep():
+    series = {}
+    for which in ("p2p_barrier", "rdma_barrier", "p2p_bcast",
+                  "rdma_bcast"):
+        pts = []
+        for p in (2, 4, 8):
+            results, _ = run_mpi(p, _timing_prog, design="zerocopy",
+                                 args=(which,))
+            pts.append((p, max(results)))
+        series[which] = pts
+    return FigureData("Ablation E", "RDMA vs p2p collectives (512 B "
+                      "bcast payload)", "ranks", "us/op", series)
+
+
+def test_ablation_rdma_collectives(benchmark, record_figure):
+    data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record_figure(data, "ablation_e_rdma_collectives")
+    for p in (2, 4, 8):
+        assert data.at("rdma_barrier", p) < data.at("p2p_barrier", p)
+        assert data.at("rdma_bcast", p) < data.at("p2p_bcast", p)
+    # the win grows with rank count (more rounds saved)
+    gain2 = data.at("p2p_barrier", 2) - data.at("rdma_barrier", 2)
+    gain8 = data.at("p2p_barrier", 8) - data.at("rdma_barrier", 8)
+    assert gain8 > gain2

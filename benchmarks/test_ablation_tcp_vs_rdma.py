@@ -1,0 +1,45 @@
+"""Ablation G — kernel TCP vs user-level RDMA (the paper's raison
+d'être).
+
+Fig. 1 lists a TCP-socket channel next to the RDMA designs; the
+introduction frames the whole work as escaping "the problems
+associated with traditional networking protocols".  This ablation
+quantifies that motivation on the simulated testbed: syscalls, double
+copies and interrupts vs one RDMA write.
+"""
+
+from repro.bench.figures import FigureData
+from repro.bench.micro import mpi_bandwidth, mpi_latency_us
+from repro.config import KB, MB
+
+SIZES = [4 * KB, 64 * KB, 256 * KB, 1 * MB]
+
+
+def _sweep():
+    data = FigureData(
+        "Ablation G", "Kernel TCP (IPoIB) vs the RDMA designs",
+        "msg size", "MB/s",
+        {"TCP": [(s, mpi_bandwidth(s, "tcp", windows=3))
+                 for s in SIZES],
+         "Zero-Copy RDMA": [(s, mpi_bandwidth(s, "zerocopy", windows=3))
+                            for s in SIZES]})
+    data.series["latency 4B (us)"] = [
+        (4, mpi_latency_us(4, "tcp", iters=30)),
+        (4, mpi_latency_us(4, "zerocopy", iters=30)),
+    ]
+    return data
+
+
+def test_ablation_tcp_vs_rdma(benchmark, record_figure):
+    data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    # render without the odd latency series
+    lat_tcp, lat_zc = (y for _x, y in data.series.pop("latency 4B (us)"))
+    record_figure(data, "ablation_g_tcp_vs_rdma")
+    # era numbers: kernel TCP ~3x the latency, ~1/4 the bandwidth
+    assert lat_tcp > 2.0 * lat_zc
+    assert lat_tcp < 60.0          # still a sane kernel stack
+    for s in (256 * KB, 1 * MB):
+        assert data.at("Zero-Copy RDMA", s) > 3.0 * data.at("TCP", s)
+    # TCP peaks in the era-plausible IPoIB band
+    peak_tcp = max(data.ys("TCP"))
+    assert 120 <= peak_tcp <= 320

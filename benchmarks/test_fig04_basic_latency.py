@@ -1,0 +1,16 @@
+"""Fig. 4 — MPI latency of the basic design (paper: 18.6 us for small
+messages, rising with size)."""
+
+from repro.bench import figures
+
+
+def test_fig04_basic_latency(benchmark, record_figure):
+    data = benchmark.pedantic(figures.fig04, rounds=1, iterations=1)
+    record_figure(data)
+    lat = data.ys("Basic")
+    # paper: 18.6 us small-message latency (+-20% band for the model)
+    assert 14.0 <= lat[0] <= 23.0
+    # latency grows monotonically with message size
+    assert lat == sorted(lat)
+    # and the 16K point is dominated by wire time, not overheads
+    assert data.at("Basic", 16384) > 2 * lat[0]

@@ -1,0 +1,18 @@
+"""Fig. 5 — MPI bandwidth of the basic design (paper: ~230 MB/s peak;
+far below the 870 MB/s wire because of synchronous pointer updates and
+copy/transfer serialization)."""
+
+from repro.bench import figures
+
+
+def test_fig05_basic_bandwidth(benchmark, record_figure):
+    data = benchmark.pedantic(figures.fig05, rounds=1, iterations=1)
+    record_figure(data)
+    bw = data.ys("Basic")
+    peak = max(bw)
+    # paper peak ~230 MB/s; allow a generous band but require the
+    # design to stay far below wire speed
+    assert 180 <= peak <= 400
+    assert peak < 0.5 * 870
+    # bandwidth ramps up with message size to at least 16K
+    assert data.at("Basic", 16384) > data.at("Basic", 1024)

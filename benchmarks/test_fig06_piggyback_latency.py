@@ -1,0 +1,19 @@
+"""Fig. 6 — piggybacking the pointer updates cuts small-message
+latency from 18.6 us to 7.4 us."""
+
+from repro.bench import figures
+
+
+def test_fig06_piggyback_latency(benchmark, record_figure):
+    data = benchmark.pedantic(figures.fig06, rounds=1, iterations=1)
+    record_figure(data)
+    basic = data.at("Basic", 4)
+    piggy = data.at("Piggyback", 4)
+    # paper: 7.4 us (+-10%)
+    assert 6.6 <= piggy <= 8.2
+    # paper: ~2.5x improvement over basic
+    assert 1.8 <= basic / piggy <= 3.2
+    # piggyback is better at every plotted size
+    for (s, b), (_s2, p) in zip(data.series["Basic"],
+                                data.series["Piggyback"]):
+        assert p < b, f"piggyback slower at {s}"

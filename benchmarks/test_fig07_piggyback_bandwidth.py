@@ -1,0 +1,14 @@
+"""Fig. 7 — piggybacking also improves small-message bandwidth."""
+
+from repro.bench import figures
+
+
+def test_fig07_piggyback_bandwidth(benchmark, record_figure):
+    data = benchmark.pedantic(figures.fig07, rounds=1, iterations=1)
+    record_figure(data)
+    for (s, b), (_s2, p) in zip(data.series["Basic"],
+                                data.series["Piggyback"]):
+        assert p > b, f"piggyback not faster at {s}"
+    # the gap is large for small messages (fewer RDMA ops, no
+    # synchronous pointer-update waits)
+    assert data.at("Piggyback", 256) > 1.5 * data.at("Basic", 256)

@@ -1,0 +1,19 @@
+"""Fig. 8 — pipelining chunk copies with RDMA writes lifts peak
+bandwidth from ~230 MB/s to >500 MB/s (paper), memory-bus bound."""
+
+from repro.bench import figures
+
+
+def test_fig08_pipeline_bandwidth(benchmark, record_figure):
+    data = benchmark.pedantic(figures.fig08, rounds=1, iterations=1)
+    record_figure(data)
+    peak_pipe = max(data.ys("Pipeline"))
+    peak_basic = max(data.ys("Basic"))
+    # paper: 230 -> 500+ (2.2x); our basic design runs ~1.5x the
+    # paper's (see EXPERIMENTS.md), so the measured ratio is ~1.4x
+    assert peak_pipe > 440
+    assert peak_pipe > 1.35 * peak_basic
+    # but pipelining stays well below the 870 MB/s wire (memory bus!)
+    assert peak_pipe < 0.75 * 870
+    # pipeline >= basic at large sizes
+    assert data.at("Pipeline", 65536) > data.at("Basic", 65536)

@@ -1,0 +1,18 @@
+"""Fig. 9 — pipeline chunk-size sweep: 1 KB chunks drown in per-chunk
+overheads, 32 KB chunks stall the pipeline; the paper picks 16 KB."""
+
+from repro.bench import figures
+
+
+def test_fig09_chunk_sweep(benchmark, record_figure):
+    data = benchmark.pedantic(figures.fig09, rounds=1, iterations=1)
+    record_figure(data)
+    at_256k = {name: data.at(name, 256 * 1024) for name in data.series}
+    best = max(at_256k.values())
+    # 1K chunks are clearly bad (paper: worst curve)
+    assert at_256k["1K"] < 0.7 * best
+    # 32K chunks lose to 16K for large messages (pipeline stalls)
+    assert at_256k["32K"] < at_256k["16K"]
+    # 8K and 16K are the plateau
+    assert at_256k["8K"] > 0.9 * best
+    assert at_256k["16K"] > 0.9 * best

@@ -1,0 +1,21 @@
+"""Fig. 13 — latency of the RDMA-Channel zero-copy design vs the
+CH3-level design: comparable for small and large messages."""
+
+from repro.bench import figures
+from repro.config import KB
+
+
+def test_fig13_ch3_latency(benchmark, record_figure):
+    data = benchmark.pedantic(figures.fig13, rounds=1, iterations=1)
+    record_figure(data)
+    rc = data.ys("RDMA Channel Zero Copy")
+    ch3 = data.ys("CH3 Zero Copy")
+    # comparable small-message latency (paper: both ~7.6 us)
+    assert abs(rc[0] - ch3[0]) < 0.2 * rc[0]
+    # both monotone in size
+    assert rc == sorted(rc)
+    assert ch3 == sorted(ch3)
+    # at 64K (rendezvous/zero-copy territory) they stay within ~25%
+    rc64 = data.at("RDMA Channel Zero Copy", 64 * KB)
+    ch64 = data.at("CH3 Zero Copy", 64 * KB)
+    assert abs(rc64 - ch64) < 0.25 * max(rc64, ch64)

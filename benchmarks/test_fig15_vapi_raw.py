@@ -1,0 +1,22 @@
+"""Fig. 15 — raw VAPI-level bandwidth: RDMA write has a clear
+advantage over RDMA read for mid-sized messages; they converge at
+1 MB (~870 MB/s)."""
+
+from repro.bench import figures
+from repro.config import KB, MB
+
+
+def test_fig15_vapi_raw(benchmark, record_figure):
+    data = benchmark.pedantic(figures.fig15, rounds=1, iterations=1)
+    record_figure(data)
+    # write peak ~870 (paper) within 2%
+    w_peak = data.at("RDMA Write", 1 * MB)
+    assert abs(w_peak - 870) < 0.02 * 870
+    # read well below write through the mid sizes
+    for s in (4 * KB, 16 * KB, 64 * KB):
+        assert data.at("RDMA Read", s) < data.at("RDMA Write", s)
+    assert data.at("RDMA Read", 4 * KB) < 0.65 * data.at("RDMA Write",
+                                                         4 * KB)
+    # convergence at 1 MB (within 3%)
+    r_peak = data.at("RDMA Read", 1 * MB)
+    assert abs(r_peak - w_peak) < 0.03 * w_peak

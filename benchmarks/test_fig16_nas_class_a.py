@@ -1,0 +1,30 @@
+"""Fig. 16 — NAS class A on 4 nodes: Pipelining vs RDMA-Channel
+zero-copy vs CH3 zero-copy.  Paper: differences are small, the
+pipelining design is the worst in all cases, CH3 < 1% ahead of the
+RDMA Channel design on average."""
+
+import statistics
+
+from repro.bench import figures
+
+
+def test_fig16_nas_class_a(benchmark, record_figure):
+    data = benchmark.pedantic(figures.fig16, rounds=1, iterations=1)
+    record_figure(data)
+    pipe = data.ys("Pipelining")
+    rc = data.ys("RDMA Channel")
+    ch3 = data.ys("CH3")
+    # pipelining never wins
+    for i, b in enumerate(x for x, _ in data.series["CH3"]):
+        assert pipe[i] <= rc[i] * 1.005, f"pipelining wins {b} vs RC"
+        assert pipe[i] <= ch3[i] * 1.005, f"pipelining wins {b} vs CH3"
+    # CH3 and RDMA Channel are close on average (paper: <1%; our
+    # model's IS is more communication-bound, so allow a few %)
+    rel = [c / r - 1 for c, r in zip(ch3, rc)]
+    assert -0.01 <= statistics.mean(rel) <= 0.08
+    # overall spread is small for the compute-bound benchmarks
+    for i, (b, _) in enumerate(data.series["CH3"]):
+        if b in ("BT", "SP", "LU", "EP", "CG", "MG"):
+            spread = (max(pipe[i], rc[i], ch3[i])
+                      - min(pipe[i], rc[i], ch3[i])) / ch3[i]
+            assert spread < 0.05, f"{b} spread {spread:.1%}"

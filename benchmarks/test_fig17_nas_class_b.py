@@ -1,0 +1,19 @@
+"""Fig. 17 — NAS class B on 8 nodes (SP/BT omitted: they need a square
+rank count, paper §7).  Same qualitative claims as Fig. 16."""
+
+import statistics
+
+from repro.bench import figures
+
+
+def test_fig17_nas_class_b(benchmark, record_figure):
+    data = benchmark.pedantic(figures.fig17, rounds=1, iterations=1)
+    record_figure(data)
+    pipe = data.ys("Pipelining")
+    rc = data.ys("RDMA Channel")
+    ch3 = data.ys("CH3")
+    for i, (b, _) in enumerate(data.series["CH3"]):
+        assert pipe[i] <= rc[i] * 1.005, f"pipelining wins {b}"
+        assert pipe[i] <= ch3[i] * 1.005, f"pipelining wins {b}"
+    rel = [c / r - 1 for c, r in zip(ch3, rc)]
+    assert -0.01 <= statistics.mean(rel) <= 0.08

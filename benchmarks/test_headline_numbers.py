@@ -1,0 +1,38 @@
+"""The paper's headline scalar results, paper vs measured.
+
+Paper §1/§9: "our optimized MPICH2 implementation achieves 7.6 us
+latency and 857 MB/s bandwidth, which are close to the raw performance
+of the underlying InfiniBand layer (5.9 us, 870 MB/s)"; basic design:
+18.6 us / 230 MB/s; pipelining: >500 MB/s.
+"""
+
+import pytest
+
+from repro.bench import figures
+
+
+def test_headline_numbers(benchmark, record_figure, results_dir, capsys):
+    table = benchmark.pedantic(figures.headline_table, rounds=1,
+                               iterations=1)
+    (results_dir / "headline.txt").write_text(table + "\n")
+    with capsys.disabled():
+        print("\n" + table)
+
+    h = figures.headline()
+    tight = {  # metric -> relative tolerance
+        "raw latency (us)": 0.05,
+        "raw write peak bw (MB/s)": 0.02,
+        "piggyback latency (us)": 0.06,
+        "zero-copy latency (us)": 0.05,
+        "zero-copy peak bw (MB/s)": 0.02,
+    }
+    loose = {
+        "basic latency (us)": 0.20,
+        "basic peak bw (MB/s)": 0.55,
+        "pipeline peak bw (MB/s)": 0.25,
+    }
+    for metric, tol in {**tight, **loose}.items():
+        v = h[metric]
+        assert v["measured"] == pytest.approx(v["paper"], rel=tol), \
+            f"{metric}: measured {v['measured']:.2f} vs paper " \
+            f"{v['paper']} (tol {tol:.0%})"

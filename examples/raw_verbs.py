@@ -1,0 +1,81 @@
+"""Program the simulated InfiniBand verbs directly (no MPI).
+
+Builds a two-node cluster, registers memory, and implements a tiny
+RDMA-write-based producer/consumer message queue — the same style of
+protocol the paper's channel designs are built from (flag-based
+arrival detection, piggybacked sequence numbers).
+
+Run:  python examples/raw_verbs.py
+"""
+
+import numpy as np
+
+from repro import build_cluster
+from repro.ib.types import WcStatus
+
+SLOTS = 4
+SLOT_SIZE = 256
+N_MESSAGES = 12
+
+
+def producer(cluster, ctx, qp, staging, smr, ring_addr, rkey):
+    mem = ctx.hca.mem
+    for i in range(N_MESSAGES):
+        slot = i % SLOTS
+        seq = (i % 250) + 1
+        base = slot * SLOT_SIZE
+        payload = f"msg-{i:03d}".encode().ljust(SLOT_SIZE - 1, b".")
+        staging.view()[base:base + SLOT_SIZE - 1] = np.frombuffer(
+            payload, dtype=np.uint8)
+        staging.view()[base + SLOT_SIZE - 1] = seq  # trailing flag
+        yield from ctx.rdma_write(
+            qp, [(staging.addr + base, SLOT_SIZE, smr.lkey)],
+            ring_addr + base, rkey, signaled=True)
+        cqe = yield from ctx.wait_cq(qp.send_cq)
+        assert cqe.status is WcStatus.SUCCESS
+    print(f"[producer] pushed {N_MESSAGES} messages, "
+          f"{ctx.hca.stats.rdma_writes} RDMA writes")
+
+
+def consumer(cluster, ctx, ring):
+    got = []
+    for i in range(N_MESSAGES):
+        slot = i % SLOTS
+        seq = (i % 250) + 1
+        flag_addr = ring.addr + slot * SLOT_SIZE + SLOT_SIZE - 1
+        # spin on the trailing flag (sleeping on the HCA gate)
+        while ctx.hca.mem.view(flag_addr, 1)[0] != seq:
+            yield ctx.hca.inbound_gate.wait()
+        raw = ring.read()[slot * SLOT_SIZE:
+                          slot * SLOT_SIZE + SLOT_SIZE - 1]
+        got.append(raw.split(b".")[0].decode())
+    print(f"[consumer] received in order: {got[:3]} ... {got[-1]} "
+          f"at t={cluster.sim.now * 1e6:.2f} us")
+    assert got == [f"msg-{i:03d}" for i in range(N_MESSAGES)]
+
+
+def main():
+    cluster = build_cluster(2)
+    n0, n1 = cluster.nodes
+    qp0, _qp1 = cluster.connect_pair(0, 1)
+    ctx0, ctx1 = n0.vapi(), n1.vapi()
+
+    staging = n0.alloc(SLOTS * SLOT_SIZE, "staging")
+    ring = n1.alloc(SLOTS * SLOT_SIZE, "ring")
+
+    def setup_and_run():
+        smr = yield from ctx0.reg_mr(staging.addr, len(staging))
+        rmr = yield from ctx1.reg_mr(ring.addr, len(ring))
+        p = cluster.spawn(
+            producer(cluster, ctx0, qp0, staging, smr, ring.addr,
+                     rmr.rkey), "producer")
+        c = cluster.spawn(consumer(cluster, ctx1, ring), "consumer")
+        yield cluster.sim.all_of([p, c])
+
+    cluster.spawn(setup_and_run(), "main")
+    cluster.run()
+    print(f"simulation finished at t={cluster.sim.now * 1e6:.2f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — a reproduction of "Design and Implementation of MPICH2 over
+InfiniBand with RDMA Support" (Liu et al., IPDPS 2004) on a simulated
+InfiniBand testbed.
+
+Quick start::
+
+    from repro import run_mpi
+
+    def hello(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(b"hi", dest=1, tag=0)
+        elif mpi.rank == 1:
+            data, _ = yield from mpi.recv(source=0, tag=0)
+            return bytes(data)
+
+    results, elapsed = run_mpi(2, hello, design="zerocopy")
+
+See :mod:`repro.bench.figures` for the paper's figure reproductions.
+"""
+
+from .config import KB, MB, US, ChannelConfig, HardwareConfig
+from .cluster import Cluster, Node, build_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HardwareConfig", "ChannelConfig", "KB", "MB", "US",
+    "Cluster", "Node", "build_cluster",
+    "run_mpi", "DESIGNS",
+]
+
+
+def __getattr__(name):
+    # run_mpi / DESIGNS live in repro.mpi, which imports a lot of the
+    # stack; load lazily so `import repro` stays light.
+    if name in ("run_mpi", "DESIGNS"):
+        from .mpi.runner import DESIGNS, run_mpi
+        return {"run_mpi": run_mpi, "DESIGNS": DESIGNS}[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

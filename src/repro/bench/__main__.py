@@ -1,0 +1,43 @@
+"""Command-line figure regeneration.
+
+    python -m repro.bench                 # headline numbers
+    python -m repro.bench fig11 fig15     # specific figures
+    python -m repro.bench all             # everything (slow: NAS figs)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import figures
+
+QUICK = ["fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+         "fig11", "fig13", "fig14", "fig15"]
+ALL = QUICK + ["fig16", "fig17"]
+
+
+def main(argv) -> int:
+    args = argv[1:] or ["headline"]
+    if args == ["all"]:
+        args = ["headline"] + ALL
+    elif args == ["quick"]:
+        args = ["headline"] + QUICK
+    for name in args:
+        if name == "headline":
+            print("=== headline numbers (paper vs measured) ===")
+            print(figures.headline_table())
+            print()
+            continue
+        fn = getattr(figures, name, None)
+        if fn is None:
+            print(f"unknown figure {name!r}; choose from: headline, "
+                  f"{', '.join(ALL)}, quick, all")
+            return 2
+        data = fn()
+        print(data.table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

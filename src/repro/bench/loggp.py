@@ -1,0 +1,110 @@
+"""LogGP parameter extraction.
+
+The standard analytical model of the era for message-passing systems:
+**L** (network latency), **o** (per-message CPU overhead), **g** (gap
+between small messages, i.e. 1/message-rate), and **G** (gap per byte,
+i.e. 1/bandwidth).  Papers contemporary to ours characterized
+interconnects by these four numbers; this module measures them for any
+channel design through the microbenchmarks and offers the model's
+predictions for cross-checking against direct measurements.
+
+    params = fit_loggp("zerocopy")
+    params.predict_latency(16 * 1024)   # model's one-way time
+
+The fit uses the classic methodology:
+
+* ``o``: CPU busy time per isend on an idle network;
+* ``L``: half round trip of a 1-byte message minus the two overheads;
+* ``g``: steady-state inter-message time of a back-to-back burst;
+* ``G``: slope of one-way time vs message size over large sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import KB, MB, ChannelConfig, HardwareConfig
+from ..mpi.runner import build_world, run_mpi
+from .micro import mpi_bandwidth, mpi_latency_us
+
+__all__ = ["LogGPParams", "fit_loggp"]
+
+
+@dataclass
+class LogGPParams:
+    L: float   # seconds
+    o: float   # seconds (per-message send overhead)
+    g: float   # seconds (small-message gap)
+    G: float   # seconds/byte (per-byte gap)
+    design: str = ""
+
+    def predict_latency(self, nbytes: int) -> float:
+        """One-way time of an isolated message: o + L + (n-1)G + o."""
+        return 2 * self.o + self.L + max(0, nbytes - 1) * self.G
+
+    def predict_bandwidth(self, nbytes: int) -> float:
+        """Steady-state bytes/s for back-to-back messages of one size:
+        limited by the larger of the per-message gap and the byte gap."""
+        per_msg = max(self.g, self.o + nbytes * self.G)
+        return nbytes / per_msg
+
+    def table(self) -> str:
+        return (f"LogGP[{self.design}]: "
+                f"L={self.L * 1e6:.2f}us o={self.o * 1e6:.2f}us "
+                f"g={self.g * 1e6:.2f}us G={self.G * 1e9:.3f}ns/B "
+                f"(1/G={1 / self.G / 1e6:.0f} MB/s)")
+
+
+def _measure_o(design: str, cfg, ch_cfg) -> float:
+    """CPU time consumed by one isend of a small message."""
+    world = build_world(2, design, cfg, ch_cfg)
+
+    def sender(mpi):
+        buf = mpi.alloc(8)
+        # warm the path
+        yield from mpi.Send(buf, dest=1, tag=0)
+        cpu = mpi.device.channel.ctx.cpu
+        busy0 = cpu.busy_time
+        reqs = []
+        for i in range(10):
+            r = yield from mpi.Isend(buf, dest=1, tag=1)
+            reqs.append(r)
+        overhead = (cpu.busy_time - busy0) / 10
+        yield from mpi.Waitall(reqs)
+        return overhead
+
+    def receiver(mpi):
+        buf = mpi.alloc(8)
+        yield from mpi.Recv(buf, source=0, tag=0)
+        for _ in range(10):
+            yield from mpi.Recv(buf, source=0, tag=1)
+
+    procs = [world.cluster.spawn(sender(world.contexts[0]), "s"),
+             world.cluster.spawn(receiver(world.contexts[1]), "r")]
+    world.cluster.run()
+    return procs[0].value
+
+
+def _measure_g(design: str, cfg, ch_cfg) -> float:
+    """Steady-state per-message time of a long small-message burst."""
+    bw = mpi_bandwidth(8, design, cfg=cfg, ch_cfg=ch_cfg,
+                       window=32, windows=4)
+    return 8 / (bw * 1e6) if bw > 0 else float("inf")
+
+
+def fit_loggp(design: str = "zerocopy",
+              cfg: Optional[HardwareConfig] = None,
+              ch_cfg: Optional[ChannelConfig] = None) -> LogGPParams:
+    o = _measure_o(design, cfg, ch_cfg)
+    lat1 = mpi_latency_us(8, design, cfg=cfg, ch_cfg=ch_cfg,
+                          iters=40) * 1e-6
+    L = max(lat1 - 2 * o, 0.0)
+    g = _measure_g(design, cfg, ch_cfg)
+    # G from the large-message slope (zero-copy sizes, past thresholds)
+    t_256k = mpi_latency_us(256 * KB, design, cfg=cfg, ch_cfg=ch_cfg,
+                            iters=10) * 1e-6
+    t_1m = mpi_latency_us(1 * MB, design, cfg=cfg, ch_cfg=ch_cfg,
+                          iters=10) * 1e-6
+    G = (t_1m - t_256k) / (1 * MB - 256 * KB)
+    return LogGPParams(L=L, o=o, g=g, G=G, design=design)

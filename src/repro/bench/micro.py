@@ -1,0 +1,109 @@
+"""MPI-level latency and bandwidth microbenchmarks (§4.2.1).
+
+Latency: ping-pong, reported as half the average round-trip time.
+Bandwidth: "a sender keeps sending back-to-back messages to the
+receiver until it has reached a predefined window size W.  Then it
+waits for these messages to finish and sends out another W messages" —
+the result is bytes over total time.
+
+Both run as rank programs over the full MPICH2 stack, so every design
+difference (channel protocol, copies, registrations) is reflected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import MB, ChannelConfig, HardwareConfig
+from ..mpi.runner import run_mpi
+
+__all__ = ["mpi_latency_us", "mpi_bandwidth", "latency_sweep",
+           "bandwidth_sweep", "PAPER_LATENCY_SIZES",
+           "PAPER_BANDWIDTH_SIZES"]
+
+#: the x-axes the paper plots (bytes)
+PAPER_LATENCY_SIZES = [4 << i for i in range(13)]          # 4 B .. 16 KB
+PAPER_BANDWIDTH_SIZES = [4 << i for i in range(15)]        # 4 B .. 64 KB
+PAPER_LARGE_SIZES = [4 << i for i in range(19)]            # 4 B .. 1 MB
+
+
+def _pingpong(mpi, size: int, iters: int, warmup: int):
+    send = mpi.alloc(size, "lat.send")
+    recv = mpi.alloc(size, "lat.recv")
+    send.view()[:] = 0x5A
+    total = iters + warmup
+    start = None
+    if mpi.rank == 0:
+        for i in range(total):
+            if i == warmup:
+                start = mpi.wtime()
+            yield from mpi.Send(send, dest=1, tag=1)
+            yield from mpi.Recv(recv, source=1, tag=1)
+        return (mpi.wtime() - start) / iters / 2.0
+    elif mpi.rank == 1:
+        for _i in range(total):
+            yield from mpi.Recv(recv, source=0, tag=1)
+            yield from mpi.Send(send, dest=0, tag=1)
+    return None
+
+
+def _bandwidth(mpi, size: int, window: int, windows: int, warmup: int):
+    send = mpi.alloc(size, "bw.send")
+    recv = mpi.alloc(size, "bw.recv")
+    send.view()[:] = 0xA5
+    ack = mpi.alloc(4, "bw.ack")
+    total = windows + warmup
+    start = None
+    if mpi.rank == 0:
+        for w in range(total):
+            if w == warmup:
+                start = mpi.wtime()
+            reqs = []
+            for _ in range(window):
+                r = yield from mpi.Isend(send, dest=1, tag=2)
+                reqs.append(r)
+            yield from mpi.Waitall(reqs)
+            yield from mpi.Recv(ack, source=1, tag=3)
+        elapsed = mpi.wtime() - start
+        return size * window * windows / elapsed
+    elif mpi.rank == 1:
+        for _w in range(total):
+            # prepost the whole window (standard windowed-bw
+            # methodology; lets handshakes overlap)
+            reqs = []
+            for _ in range(window):
+                r = yield from mpi.Irecv(recv, source=0, tag=2)
+                reqs.append(r)
+            yield from mpi.Waitall(reqs)
+            yield from mpi.Send(ack, dest=0, tag=3)
+    return None
+
+
+def mpi_latency_us(size: int, design: str = "zerocopy",
+                   cfg: Optional[HardwareConfig] = None,
+                   ch_cfg: Optional[ChannelConfig] = None,
+                   iters: int = 50, warmup: int = 10) -> float:
+    """One-way MPI latency in microseconds."""
+    results, _ = run_mpi(2, _pingpong, design=design, cfg=cfg,
+                         ch_cfg=ch_cfg, args=(size, iters, warmup))
+    return results[0] * 1e6
+
+
+def mpi_bandwidth(size: int, design: str = "zerocopy",
+                  cfg: Optional[HardwareConfig] = None,
+                  ch_cfg: Optional[ChannelConfig] = None,
+                  window: int = 16, windows: int = 6,
+                  warmup: int = 1) -> float:
+    """MPI bandwidth in the paper's MB/s (1e6 bytes/s)."""
+    results, _ = run_mpi(2, _bandwidth, design=design, cfg=cfg,
+                         ch_cfg=ch_cfg,
+                         args=(size, window, windows, warmup))
+    return results[0] / MB
+
+
+def latency_sweep(sizes, design: str, **kw) -> List[Tuple[int, float]]:
+    return [(s, mpi_latency_us(s, design, **kw)) for s in sizes]
+
+
+def bandwidth_sweep(sizes, design: str, **kw) -> List[Tuple[int, float]]:
+    return [(s, mpi_bandwidth(s, design, **kw)) for s in sizes]

@@ -1,0 +1,105 @@
+"""Run-level instrumentation: where did the bytes and the time go?
+
+Wraps :func:`repro.mpi.run_mpi` and reports a breakdown a performance
+engineer would ask for — RDMA operation counts, ring vs zero-copy
+payload bytes, registration-cache behaviour, CPU copy volume, and
+resource utilization — so design differences can be *explained*, not
+just observed (e.g. "pipelining moved 3x the bus bytes of zero-copy
+for the same payload").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import ChannelConfig, HardwareConfig
+from ..mpi.runner import build_world
+
+__all__ = ["ProfiledRun", "profile_run"]
+
+
+@dataclass
+class ProfiledRun:
+    results: List
+    elapsed: float
+    #: aggregate HCA counters (writes, reads, bytes, registrations...)
+    hca: Dict[str, int]
+    #: payload bytes copied by CPUs (ring staging, unpacking, ...)
+    cpu_copied_bytes: int
+    #: registration-cache hits/misses across all ranks
+    regcache_hits: int
+    regcache_misses: int
+    #: per-node memory-bus utilization over the run
+    bus_utilization: Dict[int, float]
+    #: per-node uplink utilization over the run
+    link_utilization: Dict[int, float]
+    #: per-rank CPU busy fraction
+    cpu_busy: Dict[int, float]
+
+    def table(self) -> str:
+        rows = [
+            f"elapsed (simulated)      {self.elapsed * 1e6:12.1f} us",
+            f"RDMA writes / reads      {self.hca.get('rdma_writes', 0):8d}"
+            f" / {self.hca.get('rdma_reads', 0)}",
+            f"bytes written / read     "
+            f"{self.hca.get('bytes_written', 0):12d} / "
+            f"{self.hca.get('bytes_read', 0)}",
+            f"CPU-copied bytes         {self.cpu_copied_bytes:12d}",
+            f"registrations            "
+            f"{self.hca.get('registrations', 0):8d} "
+            f"(cache: {self.regcache_hits} hits / "
+            f"{self.regcache_misses} misses)",
+        ]
+        for n, u in sorted(self.bus_utilization.items()):
+            rows.append(f"node {n} membus busy       {u:11.1%}")
+        for n, u in sorted(self.link_utilization.items()):
+            rows.append(f"node {n} uplink busy       {u:11.1%}")
+        return "\n".join(rows)
+
+
+def profile_run(nranks: int, prog: Callable, *,
+                design: str = "zerocopy",
+                cfg: Optional[HardwareConfig] = None,
+                ch_cfg: Optional[ChannelConfig] = None,
+                nnodes: Optional[int] = None,
+                args: Sequence = ()) -> ProfiledRun:
+    """Like :func:`run_mpi`, but returns the full breakdown."""
+    world = build_world(nranks, design, cfg, ch_cfg, nnodes)
+    procs = [world.cluster.spawn(prog(ctx, *args), f"rank{ctx.rank}")
+             for ctx in world.contexts]
+    world.cluster.run()
+    elapsed = world.sim.now
+
+    hits = misses = 0
+    for dev in world.devices:
+        rc = getattr(dev.channel, "regcache", None)
+        if rc is not None:
+            hits += rc.hits
+            misses += rc.misses
+    copied = sum(n.membus.bytes_copied for n in world.cluster.nodes)
+    bus_util = {
+        n.node_id: world.cluster.net.utilization(n.membus.bus, elapsed)
+        for n in world.cluster.nodes
+    } if elapsed > 0 else {}
+    link_util = {
+        n.node_id: world.cluster.net.utilization(
+            world.cluster.fabric.uplink(n.node_id), elapsed)
+        for n in world.cluster.nodes
+    } if elapsed > 0 else {}
+    cpu_busy = {
+        ctx.rank: (ctx.device.channel.ctx.cpu.busy_time / elapsed
+                   if elapsed > 0 else 0.0)
+        for ctx in world.contexts
+    }
+    return ProfiledRun(
+        results=[p.value for p in procs],
+        elapsed=elapsed,
+        hca=world.stats(),
+        cpu_copied_bytes=copied,
+        regcache_hits=hits,
+        regcache_misses=misses,
+        bus_utilization=bus_util,
+        link_utilization=link_util,
+        cpu_busy=cpu_busy,
+    )

@@ -1,0 +1,92 @@
+"""Cluster bring-up: nodes, HCAs, the switch, and rank launching.
+
+A :class:`Cluster` owns one simulator, one fluid network, one fabric,
+and N nodes (memory + memory bus + CPUs + HCA).  :func:`build_cluster`
+is the one-stop constructor used by tests, examples and benchmarks.
+
+Rank programs are generator functions ``prog(rank_ctx, *args)``; the
+MPI layer (see :mod:`repro.mpi`) provides the high-level runner
+:func:`repro.mpi.run_mpi` on top of this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from .config import HardwareConfig
+from .hw.cpu import Cpu
+from .hw.membus import MemBus
+from .hw.memory import Buffer, NodeMemory
+from .ib.fabric import Fabric
+from .ib.hca import Hca, QueuePair
+from .ib.verbs import VapiContext
+from .sim.engine import Process, Simulator
+from .sim.fluid import FluidNetwork
+
+__all__ = ["Node", "Cluster", "build_cluster"]
+
+
+class Node:
+    """One cluster node: memory, memory bus, CPUs, one HCA."""
+
+    def __init__(self, cluster: "Cluster", node_id: int, ncpus: int = 2):
+        self.cluster = cluster
+        self.node_id = node_id
+        sim, net, cfg = cluster.sim, cluster.net, cluster.cfg
+        self.mem = NodeMemory(node_id)
+        self.membus = MemBus(sim, net, cfg, node_id)
+        self.cpus = [Cpu(sim, node_id, i) for i in range(ncpus)]
+        self.hca = Hca(sim, net, cluster.fabric, cfg, node_id,
+                       self.mem, self.membus)
+
+    def vapi(self, cpu_index: int = 0) -> VapiContext:
+        """Open a VAPI context bound to one of this node's CPUs."""
+        return VapiContext(self.hca, self.cpus[cpu_index])
+
+    def alloc(self, nbytes: int, name: str = "") -> Buffer:
+        return Buffer.alloc(self.mem, nbytes, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id}>"
+
+
+class Cluster:
+    """The whole testbed."""
+
+    def __init__(self, nnodes: int, cfg: Optional[HardwareConfig] = None,
+                 ncpus_per_node: int = 2):
+        if nnodes < 1:
+            raise ValueError("need at least one node")
+        self.cfg = cfg or HardwareConfig()
+        self.sim = Simulator()
+        self.net = FluidNetwork(self.sim)
+        self.fabric = Fabric(self.sim, self.net, self.cfg)
+        self.nodes: List[Node] = [
+            Node(self, i, ncpus_per_node) for i in range(nnodes)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def connect_pair(self, a: int, b: int) -> tuple:
+        """Create and connect one QP on each of nodes ``a`` and ``b``
+        (each with its own send/recv CQ).  Returns (qp_a, qp_b)."""
+        na, nb = self.nodes[a], self.nodes[b]
+        cq_a = na.hca.create_cq()
+        cq_b = nb.hca.create_cq()
+        qp_a = na.hca.create_qp(cq_a)
+        qp_b = nb.hca.create_qp(cq_b)
+        qp_a.connect(qp_b)
+        return qp_a, qp_b
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        return self.sim.spawn(gen, name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until)
+
+
+def build_cluster(nnodes: int, cfg: Optional[HardwareConfig] = None,
+                  **kw) -> Cluster:
+    """Construct a cluster modelled on the paper's testbed (§4.1)."""
+    return Cluster(nnodes, cfg, **kw)

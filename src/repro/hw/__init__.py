@@ -1,0 +1,8 @@
+"""Host hardware substrate: memory with real bytes, memory buses with
+fluid-flow contention, and CPUs."""
+
+from .cpu import Cpu
+from .membus import MemBus
+from .memory import Buffer, MemoryError_, NodeMemory
+
+__all__ = ["NodeMemory", "Buffer", "MemoryError_", "MemBus", "Cpu"]

@@ -1,0 +1,35 @@
+"""Simple CPU model.
+
+Each MPI rank runs on one CPU.  Software costs (posting descriptors,
+polling, header handling) are charged as busy time; the model tracks
+cumulative busy time so benchmarks can report host overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.engine import Simulator
+
+__all__ = ["Cpu"]
+
+
+class Cpu:
+    def __init__(self, sim: Simulator, node_id: int, cpu_id: int = 0):
+        self.sim = sim
+        self.node_id = node_id
+        self.cpu_id = cpu_id
+        self.busy_time = 0.0
+
+    def work(self, seconds: float) -> Generator:
+        """Spend ``seconds`` of CPU time (software overhead or modelled
+        computation)."""
+        if seconds < 0:
+            raise ValueError("negative CPU time")
+        self.busy_time += seconds
+        if seconds:
+            yield self.sim.timeout(seconds)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cpu node={self.node_id}.{self.cpu_id}>"

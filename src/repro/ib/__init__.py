@@ -1,0 +1,23 @@
+"""Simulated InfiniBand Architecture.
+
+Layers (bottom-up): :mod:`fabric` (links + switch), :mod:`hca`
+(queue pairs, DMA, RC transport), :mod:`mr` (registration/keys),
+:mod:`cq` (completions), :mod:`verbs` (the VAPI-like consumer API
+everything above uses).
+"""
+
+from .cq import CompletionQueue, CQOverflowError
+from .fabric import Fabric
+from .hca import Hca, HcaStats, QueuePair
+from .mr import MemoryRegion, ProtectionDomain
+from .types import (Access, AccessError, Completion, IBError, Opcode,
+                    QPError, RecvRequest, RnrError, Sge, WcStatus,
+                    WorkRequest)
+from .verbs import VapiContext
+
+__all__ = [
+    "Fabric", "Hca", "HcaStats", "QueuePair", "CompletionQueue",
+    "CQOverflowError", "MemoryRegion", "ProtectionDomain", "VapiContext",
+    "Access", "AccessError", "Completion", "IBError", "Opcode", "QPError",
+    "RecvRequest", "RnrError", "Sge", "WcStatus", "WorkRequest",
+]

@@ -1,0 +1,79 @@
+"""Completion queues.
+
+Applications poll a CQ for completions of signaled work requests.
+Polling costs CPU time (charged by the caller through
+:meth:`CompletionQueue.poll`'s returned cost, or by the blocking helper
+:meth:`wait`).  The ``poll_detect_latency`` of the hardware config is
+applied where completions are *generated* (HCA side), modelling the
+delay before a spinning consumer observes the CQE over the bus.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.sync import Gate
+from .types import Completion
+
+__all__ = ["CompletionQueue", "CQOverflowError"]
+
+
+class CQOverflowError(Exception):
+    pass
+
+
+class CompletionQueue:
+    def __init__(self, sim: Simulator, depth: int = 4096, name: str = ""):
+        if depth < 1:
+            raise ValueError("CQ depth must be >= 1")
+        self.sim = sim
+        self.depth = depth
+        self.name = name
+        self._entries: Deque[Completion] = deque()
+        self._gate = Gate(sim)
+        self.completions_generated = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- HCA side -------------------------------------------------------
+    def push(self, cqe: Completion) -> None:
+        """Called by the HCA when a work request completes."""
+        if len(self._entries) >= self.depth:
+            raise CQOverflowError(
+                f"CQ {self.name!r} overflow at depth {self.depth}"
+            )
+        cqe.timestamp = self.sim.now
+        self._entries.append(cqe)
+        self.completions_generated += 1
+        self._gate.open()
+
+    # -- consumer side ----------------------------------------------------
+    def poll(self) -> Optional[Completion]:
+        """Non-blocking poll; returns one CQE or None."""
+        if self._entries:
+            return self._entries.popleft()
+        return None
+
+    def poll_many(self, max_entries: int) -> List[Completion]:
+        out = []
+        while self._entries and len(out) < max_entries:
+            out.append(self._entries.popleft())
+        return out
+
+    def wait(self) -> Generator:
+        """Block until a completion is available, then pop it.
+
+        This is a simulation convenience (like an event-driven
+        ``ibv_get_cq_event``); the protocol layers that model a real
+        polling loop use :meth:`poll` plus their own spin cost.
+        """
+        while not self._entries:
+            yield self._gate.wait()
+        return self._entries.popleft()
+
+    def wait_event(self):
+        """An event that fires the next time a completion is pushed."""
+        return self._gate.wait()

@@ -1,0 +1,68 @@
+"""Switched fabric: links and the (non-blocking) crossbar switch.
+
+Topology is the paper's: every node's HCA port cabled to one
+InfiniScale switch.  Each cable is modelled as two fluid resources
+(one per direction); the switch itself is non-blocking, so a path
+from node *a* to node *b* consumes ``a``'s uplink and ``b``'s
+downlink.  Propagation plus switch crossing is a single
+``wire_latency`` constant.
+
+Link capacities are *payload* bytes/s — 8b/10b coding and packet
+header overhead at the 2 KB MTU are folded into
+``HardwareConfig.link_bandwidth``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import HardwareConfig
+from ..sim.engine import Simulator
+from ..sim.fluid import FluidNetwork, FluidResource
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """One switch plus the cables of every attached node."""
+
+    def __init__(self, sim: Simulator, net: FluidNetwork,
+                 cfg: HardwareConfig):
+        self.sim = sim
+        self.net = net
+        self.cfg = cfg
+        self._up: Dict[int, FluidResource] = {}    # node -> node->switch
+        self._down: Dict[int, FluidResource] = {}  # node -> switch->node
+
+    def attach(self, node_id: int) -> None:
+        """Cable ``node_id`` to the switch."""
+        if node_id in self._up:
+            raise ValueError(f"node {node_id} already attached")
+        bw = self.cfg.link_bandwidth
+        self._up[node_id] = FluidResource(f"link[{node_id}].up", bw)
+        self._down[node_id] = FluidResource(f"link[{node_id}].down", bw)
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self._up)
+
+    def path(self, src: int, dst: int) -> List[Tuple[FluidResource, float]]:
+        """Fluid route segments for a message src -> dst (excluding the
+        endpoints' PCI/memory resources, which the HCA adds)."""
+        if src not in self._up:
+            raise KeyError(f"node {src} not attached to fabric")
+        if dst not in self._down:
+            raise KeyError(f"node {dst} not attached to fabric")
+        if src == dst:
+            return []  # loopback never touches the wire
+        return [(self._up[src], 1.0), (self._down[dst], 1.0)]
+
+    def latency(self, src: int, dst: int) -> float:
+        """One-way propagation + switch crossing."""
+        return 0.0 if src == dst else self.cfg.wire_latency
+
+    def uplink(self, node_id: int) -> FluidResource:
+        return self._up[node_id]
+
+    def downlink(self, node_id: int) -> FluidResource:
+        return self._down[node_id]

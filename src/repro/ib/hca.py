@@ -1,0 +1,377 @@
+"""Host channel adapter and queue pairs (reliable connection service).
+
+This models the Mellanox InfiniHost MT23108 at the level the paper's
+analysis needs:
+
+* per-QP in-order WQE execution — the send engine launches the next
+  descriptor only after the previous message's data has drained, which
+  bounds small-message throughput by per-descriptor costs (the Fig. 15
+  write curve's ramp);
+* RDMA reads are fully serialized per QP through the *responder's*
+  read engine with a substantial turnaround (``hca_read_response``) —
+  the InfiniHost read path pipelines poorly, which is exactly the raw
+  read-vs-write gap of Fig. 15 that makes the CH3 write-based design
+  beat the RDMA-read zero-copy design for mid-size messages (§6);
+* DMA crosses the PCI-X bus (a fluid resource capping end-to-end peak
+  at ~880 MB/s) and the host memory bus (shared with CPU copies);
+* data are *really moved*: gather at launch, scatter at delivery, with
+  rkey/bounds/access validation at the responder.
+
+Simulation shortcut (semantics-preserving): instead of spin-polling
+loops generating millions of events, inbound placements open the HCA's
+``inbound_gate`` so pollers can sleep; observers still pay the
+``poll_detect_latency``/``cq_poll_cpu`` costs a real spin loop would,
+and they can only act on what the placed bytes/flags say.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Dict, Generator, List, Optional, Tuple
+
+from ..config import HardwareConfig
+from ..hw.membus import MemBus
+from ..hw.memory import NodeMemory
+from ..sim.engine import Event, Simulator
+from ..sim.fluid import FluidNetwork, FluidResource
+from ..sim.sync import Gate, Resource, Store
+from .cq import CompletionQueue
+from .fabric import Fabric
+from .mr import MemoryRegion, ProtectionDomain
+from .types import (Access, AccessError, Completion, IBError, Opcode,
+                    QPError, RecvRequest, RnrError, Sge, WcStatus,
+                    WorkRequest)
+
+__all__ = ["Hca", "QueuePair", "HcaStats"]
+
+_qpn_counter = itertools.count(0x40)
+
+
+class HcaStats:
+    """Operation counters for one HCA."""
+
+    def __init__(self) -> None:
+        self.rdma_writes = 0
+        self.rdma_reads = 0
+        self.sends = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.bytes_sent = 0
+        self.registrations = 0
+        self.deregistrations = 0
+        self.atomics = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class QueuePair:
+    """An RC queue pair: a send queue and a receive queue."""
+
+    def __init__(self, hca: "Hca", send_cq: CompletionQueue,
+                 recv_cq: CompletionQueue, max_send: int = 4096,
+                 max_recv: int = 4096):
+        self.hca = hca
+        self.qpn = next(_qpn_counter)
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.max_send = max_send
+        self.max_recv = max_recv
+        self.remote: Optional["QueuePair"] = None
+        self.error: bool = False
+        self._sq: Store = Store(hca.sim, capacity=max_send)
+        self._rq: Deque[RecvRequest] = deque()
+        self._engine = None  # lazily started send-engine process
+        self.outstanding_send_wqes = 0
+
+    # -- wiring -----------------------------------------------------------
+    def connect(self, remote: "QueuePair") -> None:
+        """Transition both QPs to RTS against each other (the
+        out-of-band QPN exchange the paper does at init time)."""
+        if self.remote is not None or remote.remote is not None:
+            raise QPError("QP already connected")
+        if remote.hca is self.hca and remote is self:
+            raise QPError("cannot connect a QP to itself")
+        self.remote = remote
+        remote.remote = self
+        self._start_engine()
+        remote._start_engine()
+
+    def _start_engine(self) -> None:
+        if self._engine is None:
+            self._engine = self.hca.sim.spawn(
+                self._send_engine(), name=f"qp{self.qpn}.send_engine",
+                daemon=True,
+            )
+
+    # -- posting ------------------------------------------------------------
+    def post_send(self, wr: WorkRequest) -> None:
+        """Enqueue a send-queue descriptor (CPU cost is charged by the
+        verbs layer)."""
+        if self.remote is None:
+            raise QPError(f"QP {self.qpn} not connected")
+        if self.error:
+            raise QPError(f"QP {self.qpn} in error state")
+        if self.outstanding_send_wqes >= self.max_send:
+            raise QPError(f"QP {self.qpn} send queue full")
+        self.outstanding_send_wqes += 1
+        ok = self._sq.try_put(wr)
+        assert ok, "store capacity must match max_send"
+
+    def post_recv(self, rr: RecvRequest) -> None:
+        if len(self._rq) >= self.max_recv:
+            raise QPError(f"QP {self.qpn} receive queue full")
+        # Validate lkeys eagerly (real HCAs check on placement; eager
+        # checking surfaces protocol bugs at the post site).
+        for sge in rr.sges:
+            self.hca.pd.lookup_lkey(sge.lkey).check_local(sge.addr,
+                                                          sge.length)
+        self._rq.append(rr)
+
+    # -- send engine ---------------------------------------------------------
+    def _send_engine(self) -> Generator:
+        sim = self.hca.sim
+        cfg = self.hca.cfg
+        while True:
+            wr: WorkRequest = yield self._sq.get()
+            yield sim.timeout(cfg.hca_send_processing)
+            try:
+                if wr.opcode in (Opcode.RDMA_WRITE, Opcode.SEND):
+                    yield from self._execute_write_or_send(wr)
+                elif wr.opcode is Opcode.RDMA_READ:
+                    yield from self._execute_read(wr)
+                elif wr.opcode in (Opcode.FETCH_ADD, Opcode.CMP_SWAP):
+                    yield from self._execute_atomic(wr)
+                else:  # pragma: no cover - defensive
+                    raise IBError(f"bad opcode {wr.opcode}")
+            except AccessError:
+                self._complete(wr, WcStatus.REM_ACCESS_ERR, 0)
+            except RnrError:
+                self._complete(wr, WcStatus.RNR_RETRY_EXC_ERR, 0)
+            self.outstanding_send_wqes -= 1
+
+    def _gather(self, wr: WorkRequest) -> bytes:
+        chunks = []
+        for sge in wr.sges:
+            mr = self.hca.pd.lookup_lkey(sge.lkey)
+            mr.check_local(sge.addr, sge.length)
+            chunks.append(self.hca.mem.read(sge.addr, sge.length))
+        return b"".join(chunks)
+
+    def _execute_write_or_send(self, wr: WorkRequest) -> Generator:
+        sim, cfg = self.hca.sim, self.hca.cfg
+        remote = self.remote
+        assert remote is not None
+        nbytes = wr.total_length
+        payload = self._gather(wr)
+
+        if wr.opcode is Opcode.RDMA_WRITE:
+            # Validate the remote target *before* moving data, like the
+            # responder would on the first packet.
+            rmr = remote.hca.pd.lookup_rkey(wr.rkey)
+            rmr.check_remote(wr.remote_addr, nbytes, Access.REMOTE_WRITE)
+            self.hca.stats.rdma_writes += 1
+            self.hca.stats.bytes_written += nbytes
+        else:
+            self.hca.stats.sends += 1
+            self.hca.stats.bytes_sent += nbytes
+
+        # DMA setup + data drain (serializes this QP's next WQE: RC
+        # ordering on the wire).
+        yield sim.timeout(cfg.pci_latency)
+        if nbytes:
+            route = self.hca.dma_route_to(remote.hca)
+            yield self.hca.net.transfer(nbytes, route,
+                                        label=f"qp{self.qpn}.{wr.opcode.value}")
+        # Remote landing: propagation + PCI + placement happen after the
+        # drain and overlap the next WQE.
+        sim.spawn(self._deliver(wr, payload, remote),
+                  name=f"qp{self.qpn}.deliver")
+
+    def _deliver(self, wr: WorkRequest, payload: bytes,
+                 remote: "QueuePair") -> Generator:
+        sim, cfg = self.hca.sim, self.hca.cfg
+        yield sim.timeout(self.hca.fabric.latency(self.hca.node_id,
+                                                  remote.hca.node_id))
+        yield sim.timeout(cfg.pci_latency + cfg.hca_recv_processing)
+        nbytes = len(payload)
+        if wr.opcode is Opcode.RDMA_WRITE:
+            if nbytes:
+                remote.hca.mem.write(wr.remote_addr, payload)
+            # transparent to remote software; still pulse the gate so
+            # simulated pollers can re-check their flags.
+            remote.hca.inbound_gate.open()
+        else:  # SEND consumes a receive WQE
+            if not remote._rq:
+                remote.error = True
+                self._complete(wr, WcStatus.RNR_RETRY_EXC_ERR, 0)
+                return
+            rr = remote._rq.popleft()
+            if rr.total_length < nbytes:
+                remote.error = True
+                self._complete(wr, WcStatus.LOC_LEN_ERR, 0)
+                return
+            off = 0
+            for sge in rr.sges:
+                take = min(sge.length, nbytes - off)
+                if take <= 0:
+                    break
+                remote.hca.mem.write(sge.addr, payload[off:off + take])
+                off += take
+            remote.recv_cq.push(Completion(
+                wr_id=rr.wr_id, status=WcStatus.SUCCESS,
+                opcode=Opcode.RECV, byte_len=nbytes, qp_num=remote.qpn))
+            remote.hca.inbound_gate.open()
+        # RC ack back to the requester.
+        yield sim.timeout(self.hca.fabric.latency(remote.hca.node_id,
+                                                  self.hca.node_id))
+        self._complete(wr, WcStatus.SUCCESS, nbytes)
+
+    def _execute_read(self, wr: WorkRequest) -> Generator:
+        """RDMA read: request leg, responder turnaround, data leg.
+
+        Fully serialized per QP (the engine does not start the next
+        WQE until the data lands) — the InfiniHost behaviour behind
+        Fig. 15's read curve.
+        """
+        sim, cfg = self.hca.sim, self.hca.cfg
+        remote = self.remote
+        assert remote is not None
+        nbytes = wr.total_length
+        # local scatter target validation
+        for sge in wr.sges:
+            self.hca.pd.lookup_lkey(sge.lkey).check_local(sge.addr,
+                                                          sge.length)
+        # request leg
+        yield sim.timeout(self.hca.fabric.latency(self.hca.node_id,
+                                                  remote.hca.node_id))
+        # responder: validate, then serialize through the read engine
+        rmr = remote.hca.pd.lookup_rkey(wr.rkey)
+        rmr.check_remote(wr.remote_addr, nbytes, Access.REMOTE_READ)
+        yield remote.hca.read_engine.acquire()
+        try:
+            yield sim.timeout(cfg.hca_read_response)
+            payload = remote.hca.mem.read(wr.remote_addr, nbytes)
+            yield sim.timeout(cfg.pci_latency)
+            if nbytes:
+                route = remote.hca.dma_route_to(self.hca)
+                yield self.hca.net.transfer(nbytes, route,
+                                            label=f"qp{self.qpn}.read")
+        finally:
+            remote.hca.read_engine.release()
+        # landing at the requester
+        yield sim.timeout(self.hca.fabric.latency(remote.hca.node_id,
+                                                  self.hca.node_id))
+        yield sim.timeout(cfg.pci_latency + cfg.hca_recv_processing)
+        if nbytes:
+            off = 0
+            for sge in wr.sges:
+                self.hca.mem.write(sge.addr, payload[off:off + sge.length])
+                off += sge.length
+        self.hca.stats.rdma_reads += 1
+        self.hca.stats.bytes_read += nbytes
+        self.hca.inbound_gate.open()
+        self._complete(wr, WcStatus.SUCCESS, nbytes)
+
+    def _execute_atomic(self, wr: WorkRequest) -> Generator:
+        """IB atomics: an 8-byte remote read-modify-write, serialized
+        through the responder's atomic unit (shared with the read
+        engine on the InfiniHost), returning the old value into the
+        requester's single SGE.  Timing matches a small RDMA read —
+        a full round trip plus responder turnaround."""
+        import struct as _struct
+        sim, cfg = self.hca.sim, self.hca.cfg
+        remote = self.remote
+        assert remote is not None
+        if len(wr.sges) != 1 or wr.sges[0].length != 8:
+            raise IBError("atomics need exactly one 8-byte local SGE")
+        sge = wr.sges[0]
+        self.hca.pd.lookup_lkey(sge.lkey).check_local(sge.addr, 8)
+        # request leg
+        yield sim.timeout(self.hca.fabric.latency(self.hca.node_id,
+                                                  remote.hca.node_id))
+        rmr = remote.hca.pd.lookup_rkey(wr.rkey)
+        rmr.check_remote(wr.remote_addr, 8, Access.REMOTE_ATOMIC)
+        if wr.remote_addr % 8:
+            raise AccessError("atomic target must be 8-byte aligned")
+        yield remote.hca.read_engine.acquire()
+        try:
+            yield sim.timeout(cfg.hca_read_response)
+            old_raw = remote.hca.mem.read(wr.remote_addr, 8)
+            old = _struct.unpack("<Q", old_raw)[0]
+            if wr.opcode is Opcode.FETCH_ADD:
+                new = (old + wr.compare_add) & 0xFFFFFFFFFFFFFFFF
+                remote.hca.mem.write(wr.remote_addr,
+                                     _struct.pack("<Q", new))
+            else:  # CMP_SWAP
+                if old == wr.compare_add:
+                    remote.hca.mem.write(wr.remote_addr,
+                                         _struct.pack("<Q", wr.swap))
+            remote.hca.inbound_gate.open()
+        finally:
+            remote.hca.read_engine.release()
+        # response leg carrying the old value
+        yield sim.timeout(self.hca.fabric.latency(remote.hca.node_id,
+                                                  self.hca.node_id))
+        yield sim.timeout(cfg.pci_latency + cfg.hca_recv_processing)
+        self.hca.mem.write(sge.addr, old_raw)
+        self.hca.stats.atomics += 1
+        self.hca.inbound_gate.open()
+        self._complete(wr, WcStatus.SUCCESS, 8)
+
+    def _complete(self, wr: WorkRequest, status: WcStatus,
+                  nbytes: int) -> None:
+        if wr.signaled or status is not WcStatus.SUCCESS:
+            self.send_cq.push(Completion(
+                wr_id=wr.wr_id, status=status, opcode=wr.opcode,
+                byte_len=nbytes, qp_num=self.qpn))
+            # a fresh CQE is observable by local pollers
+            self.hca.inbound_gate.open()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        peer = self.remote.qpn if self.remote else None
+        return f"<QP {self.qpn} node={self.hca.node_id} peer={peer}>"
+
+
+class Hca:
+    """One host channel adapter: PD, PCI DMA engine, QPs, CQs."""
+
+    def __init__(self, sim: Simulator, net: FluidNetwork, fabric: Fabric,
+                 cfg: HardwareConfig, node_id: int, mem: NodeMemory,
+                 membus: MemBus):
+        self.sim = sim
+        self.net = net
+        self.fabric = fabric
+        self.cfg = cfg
+        self.node_id = node_id
+        self.mem = mem
+        self.membus = membus
+        self.pd = ProtectionDomain(mem, node_id)
+        self.pci = FluidResource(f"pci[{node_id}]", cfg.pci_dma_bandwidth)
+        #: serializes RDMA-read responses (InfiniHost read engine)
+        self.read_engine = Resource(sim, capacity=1)
+        #: pulsed on any inbound placement so pollers can re-check flags
+        self.inbound_gate = Gate(sim)
+        self.stats = HcaStats()
+        fabric.attach(node_id)
+
+    def create_cq(self, depth: int = 4096, name: str = "") -> CompletionQueue:
+        return CompletionQueue(self.sim, depth,
+                               name or f"cq[{self.node_id}]")
+
+    def create_qp(self, send_cq: CompletionQueue,
+                  recv_cq: Optional[CompletionQueue] = None,
+                  **kw) -> QueuePair:
+        return QueuePair(self, send_cq, recv_cq or send_cq, **kw)
+
+    def dma_route_to(self, remote: "Hca") -> List[Tuple[FluidResource, float]]:
+        """Fluid route for payload DMA from this node's memory to
+        ``remote``'s: local bus + PCI, the wire, remote PCI + bus."""
+        cost = self.cfg.dma_bus_cost
+        route: List[Tuple[FluidResource, float]] = [
+            (self.membus.bus, cost), (self.pci, 1.0),
+        ]
+        route += self.fabric.path(self.node_id, remote.node_id)
+        route += [(remote.pci, 1.0), (remote.membus.bus, cost)]
+        return route

@@ -1,0 +1,127 @@
+"""Memory registration: protection domains, memory regions, keys.
+
+RDMA security in InfiniBand is key-based (§2.1 of the paper): a buffer
+must be registered before use; registration pins its pages and yields a
+local key (lkey) and a remote key (rkey).  Every RDMA operation names
+an rkey, and the responder HCA validates key, bounds and access flags
+before touching memory.
+
+Registration is *expensive* (it was on the paper's VAPI stack, which is
+why §5 adds a registration cache); costs come from
+:class:`~repro.config.HardwareConfig`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..config import PAGE_SIZE
+from ..hw.memory import NodeMemory
+from .types import Access, AccessError
+
+__all__ = ["MemoryRegion", "ProtectionDomain"]
+
+_key_counter = itertools.count(0x1000)
+
+
+class MemoryRegion:
+    """A registered (pinned) range of node memory."""
+
+    __slots__ = ("pd", "addr", "length", "lkey", "rkey", "access", "valid")
+
+    def __init__(self, pd: "ProtectionDomain", addr: int, length: int,
+                 access: Access):
+        if length <= 0:
+            raise ValueError("cannot register an empty region")
+        # Registration is page-granular: pin whole pages.
+        self.pd = pd
+        self.addr = addr
+        self.length = length
+        self.lkey = next(_key_counter)
+        self.rkey = next(_key_counter)
+        self.access = access
+        self.valid = True
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.length
+
+    @property
+    def page_span(self) -> int:
+        """Number of pages pinned by this registration."""
+        first = self.addr // PAGE_SIZE
+        last = (self.addr + self.length - 1) // PAGE_SIZE
+        return last - first + 1
+
+    def covers(self, addr: int, nbytes: int) -> bool:
+        return self.addr <= addr and addr + nbytes <= self.end
+
+    def check_local(self, addr: int, nbytes: int) -> None:
+        if not self.valid:
+            raise AccessError(f"lkey {self.lkey:#x}: region deregistered")
+        if not self.covers(addr, nbytes):
+            raise AccessError(
+                f"lkey {self.lkey:#x}: [{addr:#x},+{nbytes}) outside "
+                f"registered [{self.addr:#x},+{self.length})"
+            )
+
+    def check_remote(self, addr: int, nbytes: int, want: Access) -> None:
+        if not self.valid:
+            raise AccessError(f"rkey {self.rkey:#x}: region deregistered")
+        if not self.covers(addr, nbytes):
+            raise AccessError(
+                f"rkey {self.rkey:#x}: [{addr:#x},+{nbytes}) outside "
+                f"registered [{self.addr:#x},+{self.length})"
+            )
+        if want not in self.access:
+            raise AccessError(
+                f"rkey {self.rkey:#x}: operation needs {want}, region "
+                f"grants {self.access}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MR [{self.addr:#x},+{self.length}) lkey={self.lkey:#x} "
+                f"rkey={self.rkey:#x} {'valid' if self.valid else 'DEAD'}>")
+
+
+class ProtectionDomain:
+    """Groups MRs and QPs; keys are resolved within a PD."""
+
+    def __init__(self, mem: NodeMemory, node_id: int):
+        self.mem = mem
+        self.node_id = node_id
+        self._by_lkey: Dict[int, MemoryRegion] = {}
+        self._by_rkey: Dict[int, MemoryRegion] = {}
+        #: total pages currently pinned (stats / eviction policy input)
+        self.pinned_pages = 0
+
+    def register(self, addr: int, length: int,
+                 access: Access = Access.all_access()) -> MemoryRegion:
+        # Validate that the range is mapped (real verbs would fail too).
+        self.mem.region_of(addr, length)
+        mr = MemoryRegion(self, addr, length, access)
+        self._by_lkey[mr.lkey] = mr
+        self._by_rkey[mr.rkey] = mr
+        self.pinned_pages += mr.page_span
+        return mr
+
+    def deregister(self, mr: MemoryRegion) -> None:
+        if not mr.valid:
+            raise AccessError("double deregistration")
+        mr.valid = False
+        del self._by_lkey[mr.lkey]
+        del self._by_rkey[mr.rkey]
+        self.pinned_pages -= mr.page_span
+
+    def lookup_lkey(self, lkey: int) -> MemoryRegion:
+        mr = self._by_lkey.get(lkey)
+        if mr is None:
+            raise AccessError(f"unknown lkey {lkey:#x}")
+        return mr
+
+    def lookup_rkey(self, rkey: int) -> MemoryRegion:
+        mr = self._by_rkey.get(rkey)
+        if mr is None:
+            raise AccessError(f"unknown rkey {rkey:#x}")
+        return mr

@@ -1,0 +1,133 @@
+"""InfiniBand verb-layer data types.
+
+Names follow the InfiniBand Architecture specification (and the VAPI
+programming interface the paper used): work queue requests (WQRs,
+a.k.a. descriptors / WQEs), completion queue entries (CQEs), opcodes,
+and access flags.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = [
+    "Opcode", "WcStatus", "Access", "Sge", "WorkRequest", "RecvRequest",
+    "Completion", "IBError", "QPError", "AccessError", "RnrError",
+]
+
+_wrid = itertools.count(1)
+
+
+class IBError(Exception):
+    """Base class for verb-layer errors."""
+
+
+class QPError(IBError):
+    """QP in wrong state / bad transition."""
+
+
+class AccessError(IBError):
+    """Remote or local key/permission/bounds violation."""
+
+
+class RnrError(IBError):
+    """Receiver not ready: SEND arrived with no posted receive."""
+
+
+class Opcode(enum.Enum):
+    SEND = "send"
+    RDMA_WRITE = "rdma_write"
+    RDMA_READ = "rdma_read"
+    # IB atomics (§9 future work: "atomic operations in InfiniBand").
+    # Both operate on a remote 8-byte value and return its old value.
+    FETCH_ADD = "fetch_add"
+    CMP_SWAP = "cmp_swap"
+
+    # Receive-side completion opcodes
+    RECV = "recv"
+
+
+class WcStatus(enum.Enum):
+    SUCCESS = "success"
+    LOC_LEN_ERR = "local_length_error"
+    LOC_PROT_ERR = "local_protection_error"
+    REM_ACCESS_ERR = "remote_access_error"
+    RNR_RETRY_EXC_ERR = "rnr_retry_exceeded"
+    WR_FLUSH_ERR = "flushed"
+
+
+class Access(enum.Flag):
+    LOCAL_WRITE = enum.auto()
+    REMOTE_WRITE = enum.auto()
+    REMOTE_READ = enum.auto()
+    REMOTE_ATOMIC = enum.auto()
+    NONE = 0
+
+    @classmethod
+    def all_access(cls) -> "Access":
+        return (cls.LOCAL_WRITE | cls.REMOTE_WRITE | cls.REMOTE_READ
+                | cls.REMOTE_ATOMIC)
+
+
+@dataclass
+class Sge:
+    """Scatter/gather element: a local (addr, length, lkey) triple."""
+    addr: int
+    length: int
+    lkey: int
+
+
+@dataclass
+class WorkRequest:
+    """A send-queue work request (descriptor).
+
+    For RDMA operations, ``remote_addr``/``rkey`` name the target
+    buffer; for SEND they are unused.  Multiple SGEs gather local data
+    (the paper: "multiple data segments can be specified at the
+    source").  Atomics use ``compare_add`` (the addend for FETCH_ADD,
+    the compare value for CMP_SWAP) and ``swap`` (CMP_SWAP only); the
+    single 8-byte SGE receives the returned old value.
+    """
+    opcode: Opcode
+    sges: List[Sge]
+    remote_addr: int = 0
+    rkey: int = 0
+    signaled: bool = True
+    compare_add: int = 0
+    swap: int = 0
+    #: opaque user cookie returned in the completion
+    wr_id: int = field(default_factory=lambda: next(_wrid))
+
+    @property
+    def total_length(self) -> int:
+        return sum(s.length for s in self.sges)
+
+
+@dataclass
+class RecvRequest:
+    """A receive-queue work request for channel-semantics SENDs."""
+    sges: List[Sge]
+    wr_id: int = field(default_factory=lambda: next(_wrid))
+
+    @property
+    def total_length(self) -> int:
+        return sum(s.length for s in self.sges)
+
+
+@dataclass
+class Completion:
+    """A completion queue entry."""
+    wr_id: int
+    status: WcStatus
+    opcode: Opcode
+    byte_len: int = 0
+    qp_num: int = 0
+    #: simulation time at which the completion was generated
+    timestamp: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WcStatus.SUCCESS

@@ -1,0 +1,192 @@
+"""Cartesian process topologies (MPI_Cart_*).
+
+Grid-structured applications — every stencil code, and NAS LU/SP/BT —
+address neighbours by coordinates rather than ranks.  This implements
+the MPI-1 topology subset over :class:`~repro.mpi.comm.Communicator`:
+``create`` (with dimension balancing à la MPI_Dims_create), coordinate
+conversion, neighbour shifts with optional periodicity, and
+sub-grid extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from ..mpich2.adi3 import MpiError
+from .comm import Communicator
+
+__all__ = ["CartComm", "dims_create"]
+
+
+def dims_create(nnodes: int, ndims: int,
+                dims: Optional[Sequence[int]] = None) -> List[int]:
+    """MPI_Dims_create: balanced factorization of ``nnodes`` over
+    ``ndims`` dimensions; zeros in ``dims`` are free, nonzeros fixed."""
+    out = list(dims) if dims is not None else [0] * ndims
+    if len(out) != ndims:
+        raise MpiError("dims length must equal ndims")
+    fixed = 1
+    free_idx = [i for i, d in enumerate(out) if d == 0]
+    for d in out:
+        if d < 0:
+            raise MpiError("dims entries must be >= 0")
+        fixed *= max(d, 1)
+    if fixed <= 0 or nnodes % fixed:
+        raise MpiError(f"cannot factor {nnodes} over fixed dims {out}")
+    rest = nnodes // fixed
+    # distribute `rest` over the free dimensions, most-square first
+    factors = _prime_factors(rest)
+    sizes = [1] * len(free_idx)
+    for f in sorted(factors, reverse=True):
+        sizes[sizes.index(min(sizes))] *= f
+    for i, s in zip(free_idx, sorted(sizes, reverse=True)):
+        out[i] = s
+    if not free_idx and rest != 1:
+        raise MpiError("fixed dims do not cover nnodes")
+    return out
+
+
+def _prime_factors(n: int) -> List[int]:
+    out = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+class CartComm:
+    """A communicator with an attached Cartesian topology.
+
+    Wraps (rather than subclasses) a Communicator: all point-to-point
+    and collective operations are reachable through ``.comm`` or via
+    delegation, and topology queries are methods here."""
+
+    def __init__(self, comm: Communicator, dims: List[int],
+                 periods: List[bool]):
+        self.comm = comm
+        self.dims = list(dims)
+        self.periods = list(periods)
+        self.ndims = len(dims)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def create(cls, comm: Communicator, dims: Sequence[int],
+               periods: Optional[Sequence[bool]] = None,
+               reorder: bool = False
+               ) -> Generator[None, None, Optional["CartComm"]]:
+        """Collective: build a grid communicator.  Ranks beyond the
+        grid size get ``None`` (like MPI_COMM_NULL)."""
+        if any(d == 0 for d in dims):
+            dims = dims_create(comm.size, len(dims), dims)
+        else:
+            dims = list(dims)
+        size = _prod(dims)
+        if size > comm.size:
+            raise MpiError(f"grid {dims} needs {size} ranks, have "
+                           f"{comm.size}")
+        periods = list(periods) if periods is not None \
+            else [False] * len(dims)
+        if len(periods) != len(dims):
+            raise MpiError("periods length must equal dims length")
+        color = 0 if comm.rank < size else None
+        sub = yield from comm.Split(
+            color if color is not None else -1, comm.rank)
+        if comm.rank >= size:
+            return None
+        return cls(sub, dims, periods)
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def coords(self, rank: Optional[int] = None) -> List[int]:
+        """MPI_Cart_coords (row-major, like MPICH)."""
+        r = self.rank if rank is None else rank
+        if not (0 <= r < _prod(self.dims)):
+            raise MpiError(f"rank {r} outside the grid")
+        out = []
+        for d in reversed(self.dims):
+            out.append(r % d)
+            r //= d
+        return list(reversed(out))
+
+    def cart_rank(self, coords: Sequence[int]) -> int:
+        """MPI_Cart_rank; periodic dimensions wrap, others must be in
+        range."""
+        if len(coords) != self.ndims:
+            raise MpiError("coordinate arity mismatch")
+        r = 0
+        for c, d, p in zip(coords, self.dims, self.periods):
+            if p:
+                c %= d
+            elif not (0 <= c < d):
+                raise MpiError(f"coordinate {c} outside non-periodic "
+                               f"dimension of size {d}")
+            r = r * d + c
+        return r
+
+    def shift(self, direction: int, disp: int = 1
+              ) -> Tuple[Optional[int], Optional[int]]:
+        """MPI_Cart_shift: (source, dest) ranks for a displacement
+        along ``direction``; None where the edge is open."""
+        if not (0 <= direction < self.ndims):
+            raise MpiError(f"bad direction {direction}")
+        me = self.coords()
+
+        def resolve(offset):
+            c = list(me)
+            c[direction] += offset
+            d = self.dims[direction]
+            if self.periods[direction]:
+                c[direction] %= d
+            elif not (0 <= c[direction] < d):
+                return None
+            return self.cart_rank(c)
+
+        return resolve(-disp), resolve(disp)
+
+    def sub(self, remain: Sequence[bool]
+            ) -> Generator[None, None, "CartComm"]:
+        """MPI_Cart_sub: split into sub-grids keeping the dimensions
+        flagged in ``remain`` (collective)."""
+        if len(remain) != self.ndims:
+            raise MpiError("remain length must equal ndims")
+        me = self.coords()
+        color = 0
+        key = 0
+        for c, d, keep in zip(me, self.dims, remain):
+            if keep:
+                key = key * d + c
+            else:
+                color = color * d + c
+        sub = yield from self.comm.Split(color, key)
+        dims = [d for d, keep in zip(self.dims, remain) if keep]
+        periods = [p for p, keep in zip(self.periods, remain) if keep]
+        if not dims:
+            dims, periods = [1], [False]
+        return CartComm(sub, dims, periods)
+
+    def __repr__(self) -> str:
+        return (f"<CartComm {self.dims} periods={self.periods} "
+                f"rank={self.rank}>")
+
+
+def _prod(xs) -> int:
+    out = 1
+    for x in xs:
+        out *= x
+    return out
+
+
+def _grid_size(dims, total) -> int:
+    return total

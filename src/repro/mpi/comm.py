@@ -1,0 +1,426 @@
+"""Communicators and point-to-point operations.
+
+The API follows mpi4py's conventions where they fit the generator
+world: lowercase methods (``send``/``recv``/``isend``) communicate
+pickled Python objects; capitalized methods (``Send``/``Recv``) move
+raw buffers (simulated Buffers, bytes, or numpy arrays).  All blocking
+calls are generator coroutines used with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from typing import (Any, Deque, Generator, List, Optional,
+                    Sequence, Tuple, Union)
+
+import numpy as np
+
+from ..hw.memory import Buffer
+from ..mpich2.adi3 import (ANY_SOURCE, ANY_TAG, Adi3Device, MpiError,
+                           Request, TruncateError)
+from .datatypes import as_bytes, stage
+from .status import Status
+
+__all__ = ["Communicator", "MpiError", "TruncateError"]
+
+Payload = Union[Buffer, bytes, bytearray, memoryview, np.ndarray]
+
+#: context ids: world uses 0/1 (pt2pt/collective); each derived
+#: communicator takes the next even/odd pair.
+_CTX_STRIDE = 2
+
+
+class _SelfMessage:
+    __slots__ = ("tag", "context", "data")
+
+    def __init__(self, tag: int, context: int, data: bytes):
+        self.tag = tag
+        self.context = context
+        self.data = data
+
+
+class Communicator:
+    """An ordered group of ranks with an isolated context."""
+
+    def __init__(self, mpi, device: Adi3Device, group: List[int],
+                 context_id: int, ctx_counter: List[int]):
+        self.mpi = mpi
+        self.device = device
+        #: world ranks of the members, indexed by communicator rank
+        self.group = list(group)
+        self.context_id = context_id
+        # shared, deterministically advanced allocation counter
+        self._ctx_counter = ctx_counter
+        self._world_to_local = {w: i for i, w in enumerate(group)}
+        if device.rank not in self._world_to_local:
+            raise MpiError(f"rank {device.rank} not in communicator "
+                           f"group {group}")
+        self.rank = self._world_to_local[device.rank]
+        self.size = len(group)
+        #: messages this rank sent to itself, FIFO per (tag, context)
+        self._self_q: Deque[_SelfMessage] = deque()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _world(self, rank: int) -> int:
+        if not (0 <= rank < self.size):
+            raise MpiError(f"rank {rank} out of range for communicator "
+                           f"of size {self.size}")
+        return self.group[rank]
+
+    def _check_tag(self, tag: int, allow_any: bool = False) -> None:
+        if tag == ANY_TAG and allow_any:
+            return
+        if tag < 0:
+            raise MpiError(f"invalid tag {tag}")
+
+    def _stage(self, data: Payload) -> Buffer:
+        return stage(self.device.node.mem, data)
+
+    # ------------------------------------------------------------------
+    # buffer-mode point-to-point
+    # ------------------------------------------------------------------
+    def Isend(self, buf: Payload, dest: int, tag: int = 0
+              ) -> Generator[None, None, Request]:
+        self._check_tag(tag)
+        yield from self._overhead()
+        wdest = self._world(dest)
+        sbuf = self._stage(buf)
+        if wdest == self.device.rank:
+            self._self_q.append(_SelfMessage(tag, self.context_id,
+                                             sbuf.read()))
+            req = Request("send")
+            req.complete(count=len(sbuf))
+            return req
+        req = yield from self.device.isend([sbuf], wdest, tag,
+                                           self.context_id)
+        return req
+
+    def Irecv(self, buf: Payload, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> Generator[None, None, Request]:
+        self._check_tag(tag, allow_any=True)
+        yield from self._overhead()
+        if not isinstance(buf, Buffer):
+            raise MpiError("Irecv needs a simulated Buffer destination; "
+                           "use recv()/Recv() with numpy or bytes")
+        wsource = source if source == ANY_SOURCE else self._world(source)
+        if wsource == self.device.rank:
+            return self._self_recv(buf, tag)
+        req = yield from self.device.irecv([buf], wsource, tag,
+                                           self.context_id)
+        return req
+
+    def _self_recv(self, buf: Buffer, tag: int) -> Request:
+        req = Request("recv")
+        for i, m in enumerate(self._self_q):
+            if m.context == self.context_id and tag in (m.tag, ANY_TAG):
+                del self._self_q[i]
+                if len(m.data) > len(buf):
+                    req.fail(TruncateError(
+                        f"self-message of {len(m.data)} bytes into "
+                        f"{len(buf)}-byte receive"))
+                    return req
+                buf.write(np.frombuffer(m.data, dtype=np.uint8)) \
+                    if m.data else None
+                req.complete(self.rank, m.tag, len(m.data))
+                return req
+        req.fail(MpiError(
+            "receive from self with no matching prior self-send "
+            "(self-messages must be sent before they are received)"))
+        return req
+
+    def Send(self, buf: Payload, dest: int, tag: int = 0,
+             datatype=None, count: int = 1) -> Generator:
+        """Blocking send.  With a non-contiguous ``datatype``, the
+        elements are packed into a contiguous staging buffer first
+        (a real, charged copy — MPICH2's dataloop path)."""
+        if datatype is not None and not datatype.is_contiguous:
+            sbuf = self._stage(buf)
+            node = self.device.node
+            packed = node.alloc(datatype.size * count, "dt.pack")
+            yield from datatype.pack(node.membus, node.mem, sbuf,
+                                     count, packed)
+            req = yield from self.Isend(packed, dest, tag)
+            yield from self.device.wait(req)
+            node.mem.free(packed.addr)
+            return None
+        req = yield from self.Isend(buf, dest, tag)
+        yield from self.device.wait(req)
+        return None
+
+    def Recv(self, buf: Payload, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG, datatype=None,
+             count: int = 1) -> Generator[None, None, Status]:
+        if datatype is not None and not datatype.is_contiguous:
+            if not isinstance(buf, Buffer):
+                raise MpiError("typed Recv needs a Buffer destination")
+            node = self.device.node
+            packed = node.alloc(datatype.size * count, "dt.unpack")
+            req = yield from self.Irecv(packed, source, tag)
+            yield from self.device.wait(req)
+            yield from datatype.unpack(node.membus, node.mem, packed,
+                                       count, buf)
+            node.mem.free(packed.addr)
+            return Status(req.source, req.tag, req.count)
+        if isinstance(buf, Buffer):
+            target = buf
+            copy_back = None
+        elif isinstance(buf, np.ndarray):
+            target = self._stage(np.zeros(buf.nbytes, dtype=np.uint8))
+            copy_back = buf
+        else:
+            raise MpiError("Recv needs a Buffer or a writable ndarray")
+        req = yield from self.Irecv(target, source, tag)
+        yield from self.device.wait(req)
+        if copy_back is not None:
+            flat = copy_back.reshape(-1).view(np.uint8)
+            flat[:req.count] = target.view()[:req.count]
+        return Status(req.source, req.tag, req.count)
+
+    def Sendrecv(self, sendbuf: Payload, dest: int, recvbuf: Payload,
+                 source: int, sendtag: int = 0,
+                 tag: int = ANY_TAG) -> Generator[None, None, Status]:
+        sreq = yield from self.Isend(sendbuf, dest, sendtag)
+        status = yield from self.Recv(recvbuf, source, tag)
+        yield from self.device.wait(sreq)
+        return status
+
+    # ------------------------------------------------------------------
+    # object-mode point-to-point (pickle)
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> Generator:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        yield from self.Send(data, dest, tag)
+        return None
+
+    def isend(self, obj: Any, dest: int, tag: int = 0
+              ) -> Generator[None, None, Request]:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        req = yield from self.Isend(data, dest, tag)
+        return req
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             max_size: int = 1 << 22) -> Generator:
+        """Receive a pickled object; returns (obj, Status)."""
+        buf = Buffer.alloc(self.device.node.mem, max_size, "recv.obj")
+        try:
+            req = yield from self.Irecv(buf, source, tag)
+            yield from self.device.wait(req)
+            obj = pickle.loads(buf.read()[:req.count])
+            return obj, Status(req.source, req.tag, req.count)
+        finally:
+            self.device.node.mem.free(buf.addr)
+
+    # ------------------------------------------------------------------
+    # request completion
+    # ------------------------------------------------------------------
+    def Wait(self, req: Request) -> Generator[None, None, Status]:
+        yield from self.device.wait(req)
+        return Status(req.source if req.source is not None else ANY_SOURCE,
+                      req.tag if req.tag is not None else ANY_TAG,
+                      req.count)
+
+    def Waitall(self, reqs: Sequence[Request]
+                ) -> Generator[None, None, List[Status]]:
+        out = []
+        for req in reqs:
+            st = yield from self.Wait(req)
+            out.append(st)
+        return out
+
+    def Waitany(self, reqs: Sequence[Request]
+                ) -> Generator[None, None, Tuple[int, Status]]:
+        """Block until any request completes; returns (index, Status)."""
+        if not reqs:
+            raise MpiError("Waitany needs at least one request")
+        while True:
+            for i, req in enumerate(reqs):
+                if req.done:
+                    req.check()
+                    return i, Status(
+                        req.source if req.source is not None
+                        else ANY_SOURCE,
+                        req.tag if req.tag is not None else ANY_TAG,
+                        req.count)
+            yield from self.device.progress(block=True)
+
+    def Waitsome(self, reqs: Sequence[Request]
+                 ) -> Generator[None, None, List[int]]:
+        """Block until at least one request completes; returns the
+        indices of all completed requests."""
+        if not reqs:
+            return []
+        while True:
+            done = [i for i, r in enumerate(reqs) if r.done]
+            if done:
+                for i in done:
+                    reqs[i].check()
+                return done
+            yield from self.device.progress(block=True)
+
+    def Testall(self, reqs: Sequence[Request]) -> Generator:
+        """One nonblocking progress poke; True if all are complete."""
+        yield from self.device.progress(block=False)
+        if all(r.done for r in reqs):
+            for r in reqs:
+                r.check()
+            return True
+        return False
+
+    def Test(self, req: Request) -> Generator:
+        """One nonblocking progress poke; returns (done, Status|None)."""
+        if not req.done:
+            yield from self.device.progress(block=False)
+        if req.done:
+            req.check()
+            return True, Status(req.source or 0, req.tag or 0, req.count)
+        return False, None
+
+    def Iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+               ) -> Generator:
+        """Nonblocking probe; returns Status or None."""
+        yield from self.device.progress(block=False)
+        wsource = source if source == ANY_SOURCE else self._world(source)
+        hit = self.device.iprobe(wsource, tag, self.context_id)
+        if hit is None:
+            return None
+        src, t, count = hit
+        return Status(self._world_to_local.get(src, src), t, count)
+
+    def Probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+              ) -> Generator[None, None, Status]:
+        while True:
+            st = yield from self.Iprobe(source, tag)
+            if st is not None:
+                return st
+            yield from self.device.progress(block=True)
+
+    def _overhead(self) -> Generator:
+        yield from self.device.channel.ctx.cpu.work(
+            self.device.cfg.mpi_call_overhead)
+        return None
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+    def _alloc_context(self) -> int:
+        """Deterministic collective context allocation: every member
+        advances the shared counter identically (all members execute
+        the same communicator-management calls in the same order, as
+        MPI requires)."""
+        self._ctx_counter[0] += _CTX_STRIDE
+        return self._ctx_counter[0]
+
+    def Dup(self) -> Generator[None, None, "Communicator"]:
+        cid = self._alloc_context()
+        comm = Communicator(self.mpi, self.device, self.group, cid,
+                            self._ctx_counter)
+        yield from comm.Barrier()
+        return comm
+
+    def Split(self, color: int, key: int = 0
+              ) -> Generator[None, None, Optional["Communicator"]]:
+        from .collectives import allgather_obj
+        cid = self._alloc_context()
+        triples = yield from allgather_obj(self, (color, key, self.rank))
+        if color is None or color < 0:
+            return None
+        members = sorted((k, r) for c, k, r in triples if c == color)
+        group = [self.group[r] for _k, r in members]
+        return Communicator(self.mpi, self.device, group, cid,
+                            self._ctx_counter)
+
+    # collectives are implemented in repro.mpi.collectives and bound
+    # here for the natural comm.Bcast(...) style.
+    def Barrier(self):
+        from . import collectives
+        return collectives.barrier(self)
+
+    def Bcast(self, buf, root=0):
+        from . import collectives
+        return collectives.bcast(self, buf, root)
+
+    def bcast(self, obj, root=0):
+        from . import collectives
+        return collectives.bcast_obj(self, obj, root)
+
+    def Reduce(self, sendbuf, recvbuf, op=None, root=0, dtype=np.float64):
+        from . import collectives
+        from .datatypes import SUM
+        return collectives.reduce(self, sendbuf, recvbuf, op or SUM,
+                                  root, dtype)
+
+    def Allreduce(self, sendbuf, recvbuf, op=None, dtype=np.float64):
+        from . import collectives
+        from .datatypes import SUM
+        return collectives.allreduce(self, sendbuf, recvbuf, op or SUM,
+                                     dtype)
+
+    def allreduce(self, value, op=None):
+        from . import collectives
+        from .datatypes import SUM
+        return collectives.allreduce_obj(self, value, op or SUM)
+
+    def Gather(self, sendbuf, recvbuf, root=0):
+        from . import collectives
+        return collectives.gather(self, sendbuf, recvbuf, root)
+
+    def gather(self, obj, root=0):
+        from . import collectives
+        return collectives.gather_obj(self, obj, root)
+
+    def Scatter(self, sendbuf, recvbuf, root=0):
+        from . import collectives
+        return collectives.scatter(self, sendbuf, recvbuf, root)
+
+    def Allgather(self, sendbuf, recvbuf):
+        from . import collectives
+        return collectives.allgather(self, sendbuf, recvbuf)
+
+    def allgather(self, obj):
+        from . import collectives
+        return collectives.allgather_obj(self, obj)
+
+    def Alltoall(self, sendbuf, recvbuf):
+        from . import collectives
+        return collectives.alltoall(self, sendbuf, recvbuf)
+
+    def Scan(self, sendbuf, recvbuf, op=None, dtype=np.float64):
+        from . import collectives
+        from .datatypes import SUM
+        return collectives.scan(self, sendbuf, recvbuf, op or SUM, dtype)
+
+    def Reduce_scatter(self, sendbuf, recvbuf, op=None,
+                       dtype=np.float64):
+        from . import collectives
+        from .datatypes import SUM
+        return collectives.reduce_scatter(self, sendbuf, recvbuf,
+                                          op or SUM, dtype)
+
+    def Gatherv(self, sendbuf, recvbuf, counts, displs=None, root=0):
+        from . import collectives
+        return collectives.gatherv(self, sendbuf, recvbuf, counts,
+                                   displs, root)
+
+    def Scatterv(self, sendbuf, recvbuf, counts, displs=None, root=0):
+        from . import collectives
+        return collectives.scatterv(self, sendbuf, recvbuf, counts,
+                                    displs, root)
+
+    def Allgatherv(self, sendbuf, recvbuf, counts, displs=None):
+        from . import collectives
+        return collectives.allgatherv(self, sendbuf, recvbuf, counts,
+                                      displs)
+
+    def Alltoallv(self, sendbuf, recvbuf, send_counts, recv_counts,
+                  send_displs=None, recv_displs=None):
+        from . import collectives
+        return collectives.alltoallv(self, sendbuf, recvbuf,
+                                     send_counts, recv_counts,
+                                     send_displs, recv_displs)
+
+    def __repr__(self) -> str:
+        return (f"<Communicator rank={self.rank}/{self.size} "
+                f"ctx={self.context_id}>")

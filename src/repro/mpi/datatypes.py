@@ -1,0 +1,99 @@
+"""Datatype and reduction-operator support.
+
+User payloads may be simulated :class:`~repro.hw.memory.Buffer`
+objects, ``bytes``/``bytearray``, or numpy arrays.  Non-Buffer payloads
+are *staged* into simulated node memory at no modelled cost — staging
+represents data that already lives in the application's address space;
+all subsequent copies (into rings, out of rings) are charged normally.
+
+Reduction operators work element-wise on numpy arrays (buffer-mode
+collectives) and on arbitrary Python values (object-mode collectives).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+from ..hw.memory import Buffer, NodeMemory
+
+__all__ = ["Op", "SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "BAND",
+           "BOR", "BXOR", "MAXLOC", "MINLOC", "stage", "as_bytes",
+           "typed_view"]
+
+
+class Op:
+    """A reduction operator."""
+
+    def __init__(self, name: str, np_op: Optional[Callable],
+                 py_op: Callable, commutative: bool = True):
+        self.name = name
+        self.np_op = np_op
+        self.py_op = py_op
+        self.commutative = commutative
+
+    def reduce_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.np_op is None:
+            raise TypeError(f"operator {self.name} is object-mode only")
+        return self.np_op(a, b)
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.py_op(a, b)
+
+    def __repr__(self) -> str:
+        return f"<Op {self.name}>"
+
+
+SUM = Op("sum", np.add, lambda a, b: a + b)
+PROD = Op("prod", np.multiply, lambda a, b: a * b)
+MAX = Op("max", np.maximum, lambda a, b: max(a, b))
+MIN = Op("min", np.minimum, lambda a, b: min(a, b))
+LAND = Op("land", np.logical_and, lambda a, b: bool(a) and bool(b))
+LOR = Op("lor", np.logical_or, lambda a, b: bool(a) or bool(b))
+BAND = Op("band", np.bitwise_and, lambda a, b: a & b)
+BOR = Op("bor", np.bitwise_or, lambda a, b: a | b)
+BXOR = Op("bxor", np.bitwise_xor, lambda a, b: a ^ b)
+# value-with-location reductions (object mode): operands are
+# (value, location) pairs
+MAXLOC = Op("maxloc", None,
+            lambda a, b: a if (a[0], -a[1]) >= (b[0], -b[1]) else b)
+MINLOC = Op("minloc", None,
+            lambda a, b: a if (a[0], a[1]) <= (b[0], b[1]) else b)
+
+
+def as_bytes(data: Union[Buffer, bytes, bytearray, memoryview,
+                         np.ndarray]) -> bytes:
+    if isinstance(data, Buffer):
+        return data.read()
+    if isinstance(data, np.ndarray):
+        return np.ascontiguousarray(data).tobytes()
+    return bytes(data)
+
+
+def stage(mem: NodeMemory, data: Union[Buffer, bytes, bytearray,
+                                       memoryview, np.ndarray],
+          name: str = "stage") -> Buffer:
+    """Place user data into simulated node memory (no modelled cost:
+    the data conceptually already lives there).  Buffers pass through
+    untouched."""
+    if isinstance(data, Buffer):
+        return data
+    raw = as_bytes(data)
+    buf = Buffer.alloc(mem, max(len(raw), 1), name)
+    if raw:
+        buf.write(raw)
+    if not raw:
+        return buf.sub(0, 0)
+    return buf
+
+
+def typed_view(buf: Buffer, dtype) -> np.ndarray:
+    """Interpret a simulated buffer's bytes as a typed numpy array
+    (shares storage — mutations write through)."""
+    dt = np.dtype(dtype)
+    if len(buf) % dt.itemsize:
+        raise ValueError(
+            f"buffer of {len(buf)} bytes is not a multiple of "
+            f"{dt.itemsize}-byte {dt}")
+    return buf.view().view(dt)

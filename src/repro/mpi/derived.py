@@ -1,0 +1,197 @@
+"""Derived MPI datatypes: contiguous, vector, and indexed layouts.
+
+MPI-1's derived datatypes describe non-contiguous memory layouts
+(matrix columns, struct fields, halo faces).  MPICH2 handles them with
+a pack/unpack ("dataloop") engine above the channel: non-contiguous
+data is packed into a contiguous staging buffer before it enters the
+byte pipe, and unpacked after.  Both directions cost real copy time,
+charged through the memory-bus model — which is why MPI folklore says
+"vector types are not free".
+
+Usage::
+
+    col = Datatype.vector(count=nrows, blocklength=1, stride=ncols,
+                          base=DOUBLE)
+    yield from comm.Send(buf, dest, tag, datatype=col)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hw.memory import Buffer
+
+__all__ = ["Datatype", "CHAR", "INT32", "INT64", "FLOAT32", "FLOAT64",
+           "DOUBLE", "COMPLEX128"]
+
+
+@dataclass(frozen=True)
+class _Block:
+    """One contiguous piece: (byte offset, byte length)."""
+    offset: int
+    length: int
+
+
+class Datatype:
+    """A typemap: list of contiguous blocks relative to a base
+    address, plus the overall extent (stride between successive
+    elements of this type)."""
+
+    def __init__(self, blocks: Sequence[_Block], extent: int,
+                 name: str = "derived"):
+        if extent < 0:
+            raise ValueError("negative extent")
+        merged = _merge(sorted(blocks, key=lambda b: b.offset))
+        for a, b in zip(merged, merged[1:]):
+            if a.offset + a.length > b.offset:
+                raise ValueError("overlapping blocks in datatype")
+        self.blocks: Tuple[_Block, ...] = tuple(merged)
+        self.extent = extent
+        self.name = name
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def basic(cls, itemsize: int, name: str) -> "Datatype":
+        return cls([_Block(0, itemsize)], itemsize, name)
+
+    @classmethod
+    def contiguous(cls, count: int, base: "Datatype") -> "Datatype":
+        """count repetitions laid end to end."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        blocks = []
+        for i in range(count):
+            for b in base.blocks:
+                blocks.append(_Block(i * base.extent + b.offset,
+                                     b.length))
+        return cls(blocks, count * base.extent,
+                   f"contig({count},{base.name})")
+
+    @classmethod
+    def vector(cls, count: int, blocklength: int, stride: int,
+               base: "Datatype") -> "Datatype":
+        """count blocks of ``blocklength`` elements, block starts
+        ``stride`` elements apart (MPI_Type_vector)."""
+        if count < 1 or blocklength < 1:
+            raise ValueError("count and blocklength must be >= 1")
+        if stride < blocklength:
+            raise ValueError("stride must be >= blocklength")
+        inner = cls.contiguous(blocklength, base) \
+            if blocklength > 1 else base
+        blocks = []
+        for i in range(count):
+            off = i * stride * base.extent
+            for b in inner.blocks:
+                blocks.append(_Block(off + b.offset, b.length))
+        extent = ((count - 1) * stride + blocklength) * base.extent
+        return cls(blocks, extent,
+                   f"vector({count},{blocklength},{stride},"
+                   f"{base.name})")
+
+    @classmethod
+    def indexed(cls, blocklengths: Sequence[int],
+                displacements: Sequence[int],
+                base: "Datatype") -> "Datatype":
+        """blocks of given element lengths at given element
+        displacements (MPI_Type_indexed)."""
+        if len(blocklengths) != len(displacements):
+            raise ValueError("lengths and displacements must match")
+        blocks = []
+        end = 0
+        for n, d in zip(blocklengths, displacements):
+            if n < 1:
+                raise ValueError("blocklengths must be >= 1")
+            inner = cls.contiguous(n, base) if n > 1 else base
+            for b in inner.blocks:
+                blocks.append(_Block(d * base.extent + b.offset,
+                                     b.length))
+            end = max(end, (d + n) * base.extent)
+        return cls(blocks, end, f"indexed({len(blocklengths)},"
+                                f"{base.name})")
+
+    # -- properties ---------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """True bytes of data (sum of block lengths)."""
+        return sum(b.length for b in self.blocks)
+
+    @property
+    def is_contiguous(self) -> bool:
+        return (len(self.blocks) == 1 and self.blocks[0].offset == 0
+                and self.blocks[0].length == self.extent)
+
+    def span(self, count: int = 1) -> int:
+        """Bytes of memory touched by ``count`` elements."""
+        if count < 1:
+            return 0
+        last = max((b.offset + b.length for b in self.blocks),
+                   default=0)
+        return (count - 1) * self.extent + last
+
+    # -- pack / unpack --------------------------------------------------------
+    def pack(self, membus, mem, src: Buffer, count: int,
+             dst: Buffer) -> Generator:
+        """Gather ``count`` elements from ``src`` into contiguous
+        ``dst`` (charged copies)."""
+        need = self.size * count
+        if len(dst) < need:
+            raise ValueError(f"pack needs {need} bytes, dst has "
+                             f"{len(dst)}")
+        if self.span(count) > len(src):
+            raise ValueError("source buffer smaller than the type span")
+        out = 0
+        for i in range(count):
+            base_off = i * self.extent
+            for b in self.blocks:
+                yield from membus.memcpy(
+                    mem, dst.addr + out, src.addr + base_off + b.offset,
+                    b.length, working_set=need)
+                out += b.length
+        return need
+
+    def unpack(self, membus, mem, src: Buffer, count: int,
+               dst: Buffer) -> Generator:
+        """Scatter contiguous ``src`` into ``count`` elements of the
+        layout at ``dst``."""
+        need = self.size * count
+        if len(src) < need:
+            raise ValueError(f"unpack needs {need} bytes, src has "
+                             f"{len(src)}")
+        if self.span(count) > len(dst):
+            raise ValueError("target buffer smaller than the type span")
+        inp = 0
+        for i in range(count):
+            base_off = i * self.extent
+            for b in self.blocks:
+                yield from membus.memcpy(
+                    mem, dst.addr + base_off + b.offset, src.addr + inp,
+                    b.length, working_set=need)
+                inp += b.length
+        return need
+
+    def __repr__(self) -> str:
+        return (f"<Datatype {self.name} size={self.size} "
+                f"extent={self.extent} blocks={len(self.blocks)}>")
+
+
+def _merge(blocks: List[_Block]) -> List[_Block]:
+    """Coalesce adjacent blocks (offset ordering required)."""
+    out: List[_Block] = []
+    for b in blocks:
+        if out and out[-1].offset + out[-1].length == b.offset:
+            out[-1] = _Block(out[-1].offset, out[-1].length + b.length)
+        else:
+            out.append(_Block(b.offset, b.length))
+    return out
+
+
+CHAR = Datatype.basic(1, "char")
+INT32 = Datatype.basic(4, "int32")
+INT64 = Datatype.basic(8, "int64")
+FLOAT32 = Datatype.basic(4, "float32")
+FLOAT64 = Datatype.basic(8, "float64")
+DOUBLE = FLOAT64
+COMPLEX128 = Datatype.basic(16, "complex128")

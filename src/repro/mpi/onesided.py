@@ -1,0 +1,305 @@
+"""MPI-2 one-sided communication over InfiniBand RDMA.
+
+The paper's stated future work (§9): "Another direction we are
+pursuing is to provide support for MPI-2 functionalities such as
+one-sided communication using RDMA and atomic operations in
+InfiniBand."  This module implements the active-target subset —
+``Win_create`` / ``Put`` / ``Get`` / ``Accumulate`` / ``Fence`` — the
+way MVAPICH2 later did: window memory is registered once at creation,
+addresses and rkeys are exchanged collectively, and Put/Get map 1:1
+onto RDMA write/read with no target-side software involvement between
+fences.
+
+Windows use their own queue pairs (created at ``Win.create`` time), so
+one-sided traffic never interleaves with the channel's send/recv
+protocol state on the shared QPs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..hw.memory import Buffer
+from ..ib.types import Opcode, WcStatus
+from ..mpich2.adi3 import MpiError
+from .datatypes import SUM, Op
+
+__all__ = ["Win"]
+
+
+class Win:
+    """An RMA window (MPI_Win), active-target synchronization only."""
+
+    def __init__(self, comm, local: Buffer):
+        self.comm = comm
+        self.local = local
+        self._qps: Dict[int, object] = {}
+        self._remote: Dict[int, tuple] = {}   # rank -> (addr, rkey, size)
+        self._mr = None
+        self._pending = 0
+        self._epoch_open = False
+        self._freed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, comm, local: Buffer) -> Generator[None, None, "Win"]:
+        """Collective window creation: register the exposed buffer,
+        build a dedicated QP mesh, and exchange (addr, rkey, size)."""
+        win = cls(comm, local)
+        device = comm.device
+        ctx = device.channel.ctx
+        win._mr = yield from ctx.reg_mr(local.addr, max(len(local), 1))
+
+        # out-of-band QP mesh (like the channels' establish step); the
+        # world object gives simulation-level access to peer devices.
+        world = comm.mpi.world
+        my_world_rank = device.rank
+        for peer_local in range(comm.size):
+            peer_world = comm.group[peer_local]
+            if peer_world == my_world_rank:
+                continue
+            key = (id(win) if my_world_rank < peer_world else None)
+            # create one QP pair per (lower, higher) ordering exactly
+            # once: the lower rank's create call builds both ends and
+            # stashes the peer's end on the peer's registry.
+            if my_world_rank < peer_world:
+                peer_dev = world.devices[peer_world]
+                my_hca = device.node.hca
+                peer_hca = peer_dev.node.hca
+                cq_a = my_hca.create_cq()
+                cq_b = peer_hca.create_cq()
+                qp_a = my_hca.create_qp(cq_a)
+                qp_b = peer_hca.create_qp(cq_b)
+                qp_a.connect(qp_b)
+                win._qps[peer_local] = qp_a
+                _pending_qps.setdefault(
+                    (peer_world, my_world_rank), []).append(qp_b)
+            else:
+                bucket = _pending_qps.get((my_world_rank, peer_world))
+                if not bucket:
+                    raise MpiError(
+                        "window QP wiring out of order — Win.create "
+                        "must be called collectively")
+                win._qps[peer_local] = bucket.pop(0)
+        # exchange window addresses/keys (collective, charged)
+        infos = yield from comm.allgather(
+            (win.local.addr, win._mr.rkey, len(local)))
+        for r, info in enumerate(infos):
+            win._remote[r] = tuple(info)
+        yield from comm.Barrier()
+        win._epoch_open = True
+        return win
+
+    # ------------------------------------------------------------------
+    def _check(self, target: int, disp: int, nbytes: int,
+               allow_self: bool = False) -> tuple:
+        if self._freed:
+            raise MpiError("window is freed")
+        if not self._epoch_open:
+            raise MpiError("RMA access outside an epoch (call Fence)")
+        if target == self.comm.rank and not allow_self:
+            raise MpiError("use local loads/stores for the local window")
+        addr, rkey, size = self._remote[target]
+        if disp < 0 or disp + nbytes > size:
+            raise MpiError(
+                f"RMA access [{disp}, {disp + nbytes}) outside window "
+                f"of {size} bytes at rank {target}")
+        return addr, rkey
+
+    def put(self, origin: Buffer, target: int, disp: int = 0
+            ) -> Generator:
+        """MPI_Put: one RDMA write, no target software.  Self-targets
+        degrade to a charged local copy."""
+        addr, rkey = self._check(target, disp, len(origin),
+                                 allow_self=True)
+        ctx = self.comm.device.channel.ctx
+        if target == self.comm.rank:
+            node = self.comm.device.node
+            yield from node.membus.memcpy(
+                node.mem, self.local.addr + disp, origin.addr,
+                len(origin))
+            return None
+        yield from ctx.rdma_write(
+            self._qps[target],
+            [(origin.addr, len(origin), self._mr_for(origin).lkey)],
+            addr + disp, rkey, signaled=True)
+        self._pending += 1
+        return None
+
+    def get(self, origin: Buffer, target: int, disp: int = 0
+            ) -> Generator:
+        """MPI_Get: one RDMA read.  Self-targets degrade to a charged
+        local copy."""
+        addr, rkey = self._check(target, disp, len(origin),
+                                 allow_self=True)
+        ctx = self.comm.device.channel.ctx
+        if target == self.comm.rank:
+            node = self.comm.device.node
+            yield from node.membus.memcpy(
+                node.mem, origin.addr, self.local.addr + disp,
+                len(origin))
+            return None
+        yield from ctx.rdma_read(
+            self._qps[target],
+            [(origin.addr, len(origin), self._mr_for(origin).lkey)],
+            addr + disp, rkey, signaled=True)
+        self._pending += 1
+        return None
+
+    def accumulate(self, origin: Buffer, target: int, disp: int = 0,
+                   op: Op = SUM, dtype=np.float64) -> Generator:
+        """MPI_Accumulate, get-modify-put style (the paper's future
+        work mentions InfiniBand atomics; fetch-op-write is the
+        general-datatype path).  Only meaningful between fences."""
+        n = len(origin)
+        ctx = self.comm.device.channel.ctx
+        # fetch current value into scratch, combine locally, write back
+        tmp = self.comm.device.node.alloc(n, "win.acc")
+        tmr = yield from ctx.reg_mr(tmp.addr, n)
+        addr, rkey = self._check(target, disp, n)
+        wr = yield from ctx.rdma_read(
+            self._qps[target], [(tmp.addr, n, tmr.lkey)],
+            addr + disp, rkey, signaled=True)
+        yield from self._await_wr(target, wr.wr_id)
+        dt = np.dtype(dtype)
+        cur = tmp.view().view(dt)
+        mine = origin.view().view(dt)
+        tmp.view().view(dt)[:] = op.reduce_arrays(cur, mine)
+        wr = yield from ctx.rdma_write(
+            self._qps[target], [(tmp.addr, n, tmr.lkey)],
+            addr + disp, rkey, signaled=True)
+        # the scratch registration is torn down right away, so this
+        # op completes synchronously rather than at the fence
+        yield from self._await_wr(target, wr.wr_id)
+        yield from ctx.dereg_mr(tmr)
+        self.comm.device.node.mem.free(tmp.addr)
+        return None
+
+    def _await_wr(self, target: int, wr_id: int) -> Generator:
+        """Reap the CQ until a specific work request completes.
+        Completions of earlier signaled put/get operations (normally
+        reaped at the fence) are credited against ``_pending`` —
+        without this, an atomic could consume a put's CQE and return
+        a stale result buffer."""
+        ctx = self.comm.device.channel.ctx
+        qp = self._qps[target]
+        while True:
+            cqe = yield from ctx.wait_cq(qp.send_cq)
+            if cqe.status is not WcStatus.SUCCESS:
+                raise MpiError(f"RMA op failed: {cqe.status}")
+            if cqe.wr_id == wr_id:
+                return None
+            self._pending -= 1
+
+    def _mr_for(self, origin: Buffer):
+        """Origin buffers inside the window reuse its registration;
+        others hit the channel's registration cache."""
+        if (self.local.addr <= origin.addr
+                and origin.addr + len(origin)
+                <= self.local.addr + len(self.local)):
+            return self._mr
+        raise MpiError(
+            "origin buffer must lie inside the window (register-free "
+            "fast path); stage your data into the window buffer")
+
+    def fetch_and_op(self, add: int, target: int, disp: int = 0,
+                     result_disp: int = 8
+                     ) -> Generator[None, None, int]:
+        """MPI_Fetch_and_op(SUM) over the InfiniBand atomic unit
+        (§9: "atomic operations in InfiniBand"): atomically add
+        ``add`` to the 8-byte integer at ``disp`` in ``target``'s
+        window; the old value is returned and also lands at
+        ``result_disp`` in the local window."""
+        import struct as _struct
+        addr, rkey = self._check(target, disp, 8, allow_self=True)
+        if result_disp + 8 > len(self.local):
+            raise MpiError("result_disp outside the local window")
+        ctx = self.comm.device.channel.ctx
+        if target == self.comm.rank:
+            # loopback atomic: local locked RMW (no wire round trip)
+            if (self.local.addr + disp) % 8:
+                raise MpiError("atomic target must be 8-byte aligned")
+            yield from ctx.cpu.work(ctx.cfg.cq_poll_cpu)
+            old = _struct.unpack(
+                "<Q", self.local.read()[disp:disp + 8])[0]
+            new = (old + add) & 0xFFFFFFFFFFFFFFFF
+            self.local.view()[disp:disp + 8] = np.frombuffer(
+                _struct.pack("<Q", new), dtype=np.uint8)
+            return old
+        wr = yield from ctx.fetch_add(
+            self._qps[target], self.local.addr + result_disp,
+            self._mr.lkey, addr + disp, rkey, add, signaled=True)
+        yield from self._await_wr(target, wr.wr_id)
+        return _struct.unpack(
+            "<Q", self.local.read()[result_disp:result_disp + 8])[0]
+
+    def compare_and_swap(self, compare: int, swap: int, target: int,
+                         disp: int = 0, result_disp: int = 8
+                         ) -> Generator[None, None, int]:
+        """MPI_Compare_and_swap over the IB atomic unit; returns the
+        old value (the swap happened iff old == compare)."""
+        import struct as _struct
+        addr, rkey = self._check(target, disp, 8, allow_self=True)
+        if result_disp + 8 > len(self.local):
+            raise MpiError("result_disp outside the local window")
+        ctx = self.comm.device.channel.ctx
+        if target == self.comm.rank:
+            if (self.local.addr + disp) % 8:
+                raise MpiError("atomic target must be 8-byte aligned")
+            yield from ctx.cpu.work(ctx.cfg.cq_poll_cpu)
+            old = _struct.unpack(
+                "<Q", self.local.read()[disp:disp + 8])[0]
+            if old == compare:
+                self.local.view()[disp:disp + 8] = np.frombuffer(
+                    _struct.pack("<Q", swap), dtype=np.uint8)
+            return old
+        wr = yield from ctx.cmp_swap(
+            self._qps[target], self.local.addr + result_disp,
+            self._mr.lkey, addr + disp, rkey, compare, swap,
+            signaled=True)
+        yield from self._await_wr(target, wr.wr_id)
+        return _struct.unpack(
+            "<Q", self.local.read()[result_disp:result_disp + 8])[0]
+
+    # ------------------------------------------------------------------
+    def fence(self) -> Generator:
+        """MPI_Win_fence: complete all local RMA ops, then a barrier
+        so every rank's epoch closes together."""
+        ctx = self.comm.device.channel.ctx
+        for peer, qp in self._qps.items():
+            while True:
+                cqe = ctx.poll_cq(qp.send_cq)
+                if cqe is None:
+                    break
+                if cqe.status is not WcStatus.SUCCESS:
+                    raise MpiError(f"RMA op failed: {cqe.status}")
+                self._pending -= 1
+        while self._pending > 0:
+            # wait for stragglers across all window QPs
+            ev = [qp.send_cq.wait_event() for qp in self._qps.values()]
+            yield self.comm.device.node.cluster.sim.any_of(ev)
+            for qp in self._qps.values():
+                while True:
+                    cqe = ctx.poll_cq(qp.send_cq)
+                    if cqe is None:
+                        break
+                    if cqe.status is not WcStatus.SUCCESS:
+                        raise MpiError(f"RMA op failed: {cqe.status}")
+                    self._pending -= 1
+        yield from self.comm.Barrier()
+        self._epoch_open = True
+        return None
+
+    def free(self) -> Generator:
+        yield from self.fence()
+        ctx = self.comm.device.channel.ctx
+        yield from ctx.dereg_mr(self._mr)
+        self._freed = True
+        self._epoch_open = False
+        return None
+
+
+#: out-of-band QP handoff between collective Win.create calls
+_pending_qps: Dict[tuple, list] = {}

@@ -1,0 +1,170 @@
+"""World construction and the ``run_mpi`` entry point.
+
+This is the piece a paper reader would call ``mpirun``: it builds the
+simulated cluster, instantiates one channel + CH3 device per rank,
+wires the full connection mesh (the paper's init-time QP/ring/key
+exchange), launches the rank programs, and runs the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster import Cluster, build_cluster
+from ..config import ChannelConfig, HardwareConfig
+from ..hw.memory import Buffer
+from ..mpich2.ch3 import Ch3Device
+from ..mpich2.channels import CHANNELS
+from ..sim.engine import Simulator
+from .comm import Communicator
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = ["MpiContext", "World", "run_mpi", "build_world", "DESIGNS"]
+
+#: design name -> (channel name, device factory)
+DESIGNS = ("shm", "basic", "piggyback", "pipeline", "zerocopy",
+           "ch3", "multimethod", "tcp")
+
+
+class MpiContext:
+    """The per-rank facade handed to rank programs.
+
+    Exposes the world communicator's operations directly
+    (``mpi.send`` == ``mpi.COMM_WORLD.send``) plus simulation helpers
+    (``wtime``, ``alloc``)."""
+
+    def __init__(self, world: "World", rank: int, device: Ch3Device):
+        self.world = world
+        self.rank = rank
+        self.size = world.nranks
+        self.device = device
+        ctx_counter = [0]
+        self.COMM_WORLD = Communicator(self, device,
+                                       list(range(world.nranks)),
+                                       0, ctx_counter)
+
+    # -- delegates ------------------------------------------------------
+    def __getattr__(self, name):
+        # anything not defined here resolves against COMM_WORLD
+        # (send, recv, Isend, Bcast, Barrier, ...)
+        return getattr(self.COMM_WORLD, name)
+
+    # -- simulation helpers ------------------------------------------------
+    def wtime(self) -> float:
+        """MPI_Wtime: current simulated time in seconds."""
+        return self.device.node.cluster.sim.now
+
+    def alloc(self, nbytes: int, name: str = "user") -> Buffer:
+        """Allocate an application buffer in this rank's node memory."""
+        return self.device.node.alloc(nbytes, name)
+
+    def array(self, data: np.ndarray, name: str = "user") -> Buffer:
+        """Place a numpy array into node memory; returns its Buffer."""
+        raw = np.ascontiguousarray(data)
+        buf = self.device.node.alloc(raw.nbytes, name)
+        buf.write(raw.view(np.uint8).reshape(-1))
+        return buf
+
+    def compute(self, seconds: float):
+        """Model a computation phase of the given duration."""
+        return self.device.channel.ctx.cpu.work(seconds)
+
+    def finalize(self):
+        return self.device.finalize()
+
+
+class World:
+    """The built cluster + per-rank MPI stacks."""
+
+    def __init__(self, cluster: Cluster, nranks: int, design: str,
+                 devices: List[Ch3Device]):
+        self.cluster = cluster
+        self.nranks = nranks
+        self.design = design
+        self.devices = devices
+        self.contexts = [MpiContext(self, r, devices[r])
+                         for r in range(nranks)]
+
+    @property
+    def sim(self) -> Simulator:
+        return self.cluster.sim
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate HCA statistics across all nodes."""
+        out: Dict[str, int] = {}
+        for node in self.cluster.nodes:
+            for k, v in node.hca.stats.snapshot().items():
+                out[k] = out.get(k, 0) + v
+        return out
+
+
+def build_world(nranks: int, design: str = "zerocopy",
+                cfg: Optional[HardwareConfig] = None,
+                ch_cfg: Optional[ChannelConfig] = None,
+                nnodes: Optional[int] = None) -> World:
+    """Construct a world: ranks round-robin over nodes (default one
+    rank per node, like the paper's runs)."""
+    if design not in DESIGNS:
+        raise ValueError(f"unknown design {design!r}; pick from "
+                         f"{DESIGNS}")
+    cfg = cfg or HardwareConfig()
+    ch_cfg = ch_cfg or ChannelConfig()
+
+    if design == "shm":
+        nnodes = 1  # all ranks share one node's memory
+    nnodes = nnodes or nranks
+    if nnodes > nranks:
+        nnodes = nranks
+    cluster = build_cluster(nnodes, cfg,
+                            ncpus_per_node=max(2, -(-nranks // nnodes)))
+
+    if design == "ch3":
+        from ..mpich2.ch3_rdma.device import Ch3RdmaDevice
+        channel_cls = CHANNELS["pipeline"]
+        device_cls = Ch3RdmaDevice
+    else:
+        channel_cls = CHANNELS[design]
+        device_cls = Ch3Device
+
+    channels = []
+    for r in range(nranks):
+        node = cluster.nodes[r % nnodes]
+        cpu_index = r // nnodes
+        ctx = node.vapi(cpu_index % len(node.cpus))
+        chan = channel_cls(r, node, ctx, cfg, ch_cfg)
+        chan.initialize(nranks)
+        channels.append(chan)
+
+    # full mesh (paper: every connection set up during initialization)
+    for i in range(nranks):
+        for j in range(i + 1, nranks):
+            channel_cls.establish(channels[i], channels[j])
+
+    devices = []
+    for r in range(nranks):
+        dev = device_cls(r, nranks, channels[r])
+        dev.attach_connections()
+        devices.append(dev)
+    return World(cluster, nranks, design, devices)
+
+
+def run_mpi(nranks: int, prog: Callable, *,
+            design: str = "zerocopy",
+            cfg: Optional[HardwareConfig] = None,
+            ch_cfg: Optional[ChannelConfig] = None,
+            nnodes: Optional[int] = None,
+            args: Sequence = (),
+            until: Optional[float] = None) -> Tuple[List, float]:
+    """Run ``prog(mpi, *args)`` on ``nranks`` ranks; returns
+    ``(per-rank return values, elapsed simulated seconds)``.
+
+    ``prog`` must be a generator function; all MPI calls inside use
+    ``yield from`` (see the examples/ directory).
+    """
+    world = build_world(nranks, design, cfg, ch_cfg, nnodes)
+    procs = [world.cluster.spawn(prog(ctx, *args), f"rank{ctx.rank}")
+             for ctx in world.contexts]
+    world.cluster.run(until)
+    return [p.value for p in procs], world.sim.now

@@ -1,0 +1,31 @@
+"""MPI_Status and the reserved wildcard/tag constants."""
+
+from __future__ import annotations
+
+from ..mpich2.adi3 import ANY_SOURCE, ANY_TAG
+
+__all__ = ["Status", "ANY_SOURCE", "ANY_TAG"]
+
+
+class Status:
+    """Completion information of a receive (MPI_Status)."""
+
+    __slots__ = ("source", "tag", "count")
+
+    def __init__(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                 count: int = 0):
+        self.source = source
+        self.tag = tag
+        self.count = count
+
+    def get_count(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"Status(source={self.source}, tag={self.tag}, "
+                f"count={self.count})")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Status)
+                and (self.source, self.tag, self.count)
+                == (other.source, other.tag, other.count))

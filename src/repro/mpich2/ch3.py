@@ -1,0 +1,419 @@
+"""CH3 over the RDMA Channel interface.
+
+This is the layer the paper's Fig. 1 shows between ADI3 and the
+channel: it packetizes MPI messages into the channel's FIFO byte pipe
+and runs the progress engine.
+
+Every message — small or large — travels as one EAGER packet (a 32-byte
+header followed by the payload bytes) written into the stream with
+``put`` and parsed out with ``get``.  Large-message optimization is
+*inside* the channel (the §5 zero-copy design intercepts big iov
+elements), which is exactly the property the paper highlights: the
+layers above the RDMA Channel interface did not change between the
+basic and zero-copy designs.
+
+The CH3-level comparator of §6, which instead handles large messages
+at this layer with a rendezvous handshake and direct RDMA writes,
+lives in :mod:`repro.mpich2.ch3_rdma`.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Deque, Dict, Generator, List, Optional, Sequence
+
+from ..config import ChannelConfig, HardwareConfig
+from ..hw.memory import Buffer
+from .adi3 import (ANY_SOURCE, ANY_TAG, Adi3Device, MpiError, Request,
+                   TruncateError)
+from .channels.base import (Connection, RdmaChannel, advance_iov,
+                            clamp_iov, iov_total)
+
+__all__ = ["Ch3Device", "PKT_SIZE", "PKT_EAGER", "PKT_RNDV_RTS",
+           "PKT_RNDV_CTS", "PKT_RNDV_FIN", "pack_header",
+           "unpack_header"]
+
+#: CH3 packet header: kind u8, pad, src i32, tag i32, context i32,
+#: size i64, req i64 (sender request id, used by rendezvous)
+_HDR_FMT = "<Bxxxiiiqq"
+PKT_SIZE = struct.calcsize(_HDR_FMT)
+assert PKT_SIZE == 32
+
+PKT_EAGER = 1
+PKT_RNDV_RTS = 2
+PKT_RNDV_CTS = 3
+PKT_RNDV_FIN = 4
+
+
+def pack_header(kind: int, src: int, tag: int, context: int, size: int,
+                req: int = 0) -> bytes:
+    return struct.pack(_HDR_FMT, kind, src, tag, context, size, req)
+
+
+def unpack_header(data: bytes):
+    return struct.unpack(_HDR_FMT, data)
+
+
+class _SendOp:
+    __slots__ = ("req", "iov", "offset", "total", "hdr_buf",
+                 "payload_size", "kind", "on_complete")
+
+    def __init__(self, req: Optional[Request], iov: List[Buffer],
+                 hdr_buf: Buffer, payload_size: int,
+                 kind: int = PKT_EAGER, on_complete=None):
+        self.req = req
+        self.iov = iov
+        self.offset = 0
+        self.total = iov_total(iov)
+        self.hdr_buf = hdr_buf
+        self.payload_size = payload_size
+        self.kind = kind
+        #: optional callback fired when the op drains into the channel
+        self.on_complete = on_complete
+
+
+class _PostedRecv:
+    __slots__ = ("req", "iov", "source", "tag", "context")
+
+    def __init__(self, req: Request, iov: List[Buffer], source: int,
+                 tag: int, context: int):
+        self.req = req
+        self.iov = iov
+        self.source = source
+        self.tag = tag
+        self.context = context
+
+    def matches(self, src: int, tag: int, context: int) -> bool:
+        return (self.context == context
+                and self.source in (src, ANY_SOURCE)
+                and self.tag in (tag, ANY_TAG))
+
+
+class _Unexpected:
+    """An eager message that arrived before its receive was posted."""
+
+    __slots__ = ("env", "buf", "complete", "req", "iov")
+
+    def __init__(self, env, buf: Optional[Buffer]):
+        self.env = env                    # (src, tag, context, size)
+        self.buf = buf                    # temp storage
+        self.complete = False
+        #: a late-posted receive that claimed this in-flight message
+        self.req: Optional[Request] = None
+        self.iov: Optional[List[Buffer]] = None
+
+
+class _Inflight:
+    """An incoming message currently being pulled from the stream."""
+
+    __slots__ = ("env", "iov", "received", "req", "u", "trash",
+                 "on_done")
+
+    def __init__(self, env, iov: List[Buffer],
+                 req: Optional[Request] = None,
+                 u: Optional[_Unexpected] = None,
+                 trash: Optional[Buffer] = None,
+                 on_done=None):
+        self.env = env
+        self.iov = iov
+        self.received = 0
+        self.req = req
+        self.u = u
+        self.trash = trash
+        #: generator-function hook fired when the payload has fully
+        #: arrived (used for control packets carrying payloads)
+        self.on_done = on_done
+
+
+class _ConnState:
+    """Per-connection CH3 progress state."""
+
+    __slots__ = ("conn", "sendq", "hdr_buf", "hdr_off", "inflight")
+
+    def __init__(self, conn: Connection, hdr_buf: Buffer):
+        self.conn = conn
+        self.sendq: Deque[_SendOp] = deque()
+        self.hdr_buf = hdr_buf
+        self.hdr_off = 0
+        self.inflight: Optional[_Inflight] = None
+
+
+class Ch3Device(Adi3Device):
+    """ADI3 implemented over any :class:`RdmaChannel` design."""
+
+    def __init__(self, rank: int, size: int, channel: RdmaChannel):
+        super().__init__(rank, size)
+        self.channel = channel
+        self.node = channel.node
+        self.cfg: HardwareConfig = channel.cfg
+        self.conn_state: Dict[int, _ConnState] = {}
+        self.posted: List[_PostedRecv] = []
+        self.unexpected: List[_Unexpected] = []
+        self.eager_sent = 0
+        self.messages_received = 0
+
+    def attach_connections(self) -> None:
+        """Wire up per-connection state once the channel mesh exists."""
+        for peer, conn in self.channel.conns.items():
+            hdr = self.node.alloc(PKT_SIZE, f"ch3.hdr[{peer}]")
+            self.conn_state[peer] = _ConnState(conn, hdr)
+
+    # ------------------------------------------------------------------
+    # ADI3: isend / irecv / iprobe
+    # ------------------------------------------------------------------
+    def isend(self, iov: Sequence[Buffer], dest: int, tag: int,
+              context: int) -> Generator[None, None, Request]:
+        if dest == self.rank:
+            raise MpiError("self-sends are handled by the MPI layer")
+        if dest not in self.conn_state:
+            raise MpiError(f"rank {self.rank} has no connection to "
+                           f"rank {dest}")
+        yield from self.channel.ctx.cpu.work(self.cfg.ch3_packet_overhead)
+        req = Request("send")
+        size = iov_total(iov)
+        self._enqueue_packet(dest, PKT_EAGER, tag, context, size,
+                             [b for b in iov if len(b)], req=req)
+        yield from self._progress_send(self.conn_state[dest])
+        return req
+
+    def _enqueue_packet(self, dest: int, kind: int, tag: int,
+                        context: int, size: int,
+                        payload_iov: List[Buffer],
+                        req: Optional[Request] = None, sreq: int = 0,
+                        on_complete=None) -> _SendOp:
+        """Queue a CH3 packet (header + payload) on a connection."""
+        hdr = self.node.alloc(PKT_SIZE, "ch3.shdr")
+        hdr.write(pack_header(kind, self.rank, tag, context, size, sreq))
+        op = _SendOp(req, [hdr] + payload_iov, hdr,
+                     size if kind == PKT_EAGER else 0,
+                     kind=kind, on_complete=on_complete)
+        self.conn_state[dest].sendq.append(op)
+        return op
+
+    def irecv(self, iov: Sequence[Buffer], source: int, tag: int,
+              context: int) -> Generator[None, None, Request]:
+        yield from self.channel.ctx.cpu.work(self.cfg.ch3_packet_overhead)
+        req = Request("recv")
+        iov = [b for b in iov if len(b)]
+        # 1. search the unexpected queue in arrival order
+        for idx, u in enumerate(self.unexpected):
+            src, utag, uctx, usize = u.env
+            if u.req is None and _match(source, tag, context,
+                                        src, utag, uctx):
+                if usize > iov_total(iov):
+                    req.fail(TruncateError(
+                        f"message of {usize} bytes into a "
+                        f"{iov_total(iov)}-byte receive"))
+                    return req
+                if u.complete:
+                    self.unexpected.pop(idx)
+                    yield from self._copy_out(u.buf, iov, usize)
+                    if u.buf is not None:
+                        self.node.mem.free(u.buf.addr)
+                    req.complete(src, utag, usize)
+                else:
+                    u.req = req
+                    u.iov = iov
+                return req
+        # 2. post for future arrivals
+        self.posted.append(_PostedRecv(req, iov, source, tag, context))
+        return req
+
+    def iprobe(self, source: int, tag: int, context: int):
+        for u in self.unexpected:
+            src, utag, uctx, usize = u.env
+            if u.req is None and u.complete and _match(
+                    source, tag, context, src, utag, uctx):
+                return src, utag, usize
+        return None
+
+    def _copy_out(self, src_buf: Optional[Buffer], iov: List[Buffer],
+                  size: int) -> Generator:
+        """Unexpected-path copy: temp buffer -> user buffer (a real,
+        charged copy — the cost of not pre-posting receives)."""
+        if size == 0 or src_buf is None:
+            return None
+        off = 0
+        for b in iov:
+            n = min(len(b), size - off)
+            if n <= 0:
+                break
+            yield from self.node.membus.memcpy(
+                self.node.mem, b.addr, src_buf.addr + off, n,
+                working_set=size)
+            off += n
+        return None
+
+    # ------------------------------------------------------------------
+    # progress engine
+    # ------------------------------------------------------------------
+    def progress(self, block: bool) -> Generator[None, None, bool]:
+        while True:
+            # Arm the wakeup BEFORE sweeping: the sweep itself yields
+            # (copy/CPU costs), so an arrival during it would otherwise
+            # pulse the gate with nobody listening and the subsequent
+            # sleep would never wake (lost-wakeup race).
+            hints = self._wait_hints() if block else None
+            moved = False
+            for st in self.conn_state.values():
+                moved |= yield from self._progress_recv(st)
+                moved |= yield from self._progress_send(st)
+            moved |= yield from self._extra_progress()
+            if moved or not block:
+                return moved
+            yield self.node.cluster.sim.any_of(hints)
+            yield from self.channel.ctx.cpu.work(self.cfg.cq_poll_cpu)
+
+    def _extra_progress(self) -> Generator[None, None, bool]:
+        """Subclass hook (the CH3-RDMA device advances rendezvous
+        here)."""
+        return False
+        yield  # pragma: no cover
+
+    def _wait_hints(self) -> list:
+        hints = []
+        per_conn = self.channel.hint_per_connection
+        for st in self.conn_state.values():
+            hints.extend(self.channel.wait_hints(st.conn))
+            if not per_conn:
+                break  # IB designs share one per-node gate
+        if not hints:
+            hints.append(self.node.cluster.sim.timeout(1e-6))
+        return hints
+
+    def _progress_send(self, st: _ConnState
+                       ) -> Generator[None, None, bool]:
+        moved = False
+        while st.sendq:
+            op = st.sendq[0]
+            if hasattr(st.conn, "put_ws_hint"):
+                st.conn.put_ws_hint = op.payload_size
+            remaining = advance_iov(op.iov, op.offset)
+            n = yield from self.channel.put(st.conn, remaining)
+            if n == 0:
+                break
+            moved = True
+            op.offset += n
+            if op.offset >= op.total:
+                st.sendq.popleft()
+                self.node.mem.free(op.hdr_buf.addr)
+                self._send_op_complete(st, op)
+            else:
+                break
+        return moved
+
+    def _send_op_complete(self, st: _ConnState, op: _SendOp) -> None:
+        if op.kind == PKT_EAGER:
+            self.eager_sent += 1
+        if op.req is not None:
+            op.req.complete(count=op.payload_size)
+        if op.on_complete is not None:
+            op.on_complete()
+
+    def _progress_recv(self, st: _ConnState
+                       ) -> Generator[None, None, bool]:
+        moved = False
+        while True:
+            if st.inflight is None:
+                want = PKT_SIZE - st.hdr_off
+                n = yield from self.channel.get(
+                    st.conn, [st.hdr_buf.sub(st.hdr_off, want)])
+                if n == 0:
+                    return moved
+                moved = True
+                st.hdr_off += n
+                if st.hdr_off < PKT_SIZE:
+                    continue
+                st.hdr_off = 0
+                yield from self.channel.ctx.cpu.work(
+                    self.cfg.ch3_packet_overhead)
+                yield from self._dispatch_header(st, st.hdr_buf.read())
+                continue
+            msg = st.inflight
+            size = msg.env[3]
+            if msg.received < size:
+                if hasattr(st.conn, "get_ws_hint"):
+                    st.conn.get_ws_hint = size
+                remaining = clamp_iov(advance_iov(msg.iov, msg.received),
+                                      size - msg.received)
+                n = yield from self.channel.get(st.conn, remaining)
+                if n == 0:
+                    return moved
+                moved = True
+                msg.received += n
+            if msg.received >= size:
+                yield from self._finish_inflight(st)
+
+    def _dispatch_header(self, st: _ConnState, raw: bytes) -> Generator:
+        kind, src, tag, context, size, sreq = unpack_header(raw)
+        if kind == PKT_EAGER:
+            self._begin_eager(st, src, tag, context, size)
+        else:
+            yield from self._handle_control_packet(
+                st, kind, src, tag, context, size, sreq)
+        return None
+
+    def _handle_control_packet(self, st, kind, src, tag, context, size,
+                               sreq) -> Generator:
+        raise MpiError(f"unexpected CH3 packet kind {kind}")
+        yield  # pragma: no cover
+
+    def _begin_eager(self, st: _ConnState, src: int, tag: int,
+                     context: int, size: int) -> None:
+        env = (src, tag, context, size)
+        pr = self._match_posted(src, tag, context)
+        if pr is not None:
+            if size > iov_total(pr.iov):
+                pr.req.fail(TruncateError(
+                    f"message of {size} bytes into a "
+                    f"{iov_total(pr.iov)}-byte receive"))
+                trash = self.node.alloc(max(size, 1), "ch3.trash")
+                st.inflight = _Inflight(env, [trash], trash=trash)
+                return
+            st.inflight = _Inflight(env, pr.iov, req=pr.req)
+            return
+        buf = self.node.alloc(size, "ch3.unexpected") if size else None
+        u = _Unexpected(env, buf)
+        self.unexpected.append(u)
+        st.inflight = _Inflight(env, [buf] if buf else [], u=u)
+
+    def _match_posted(self, src: int, tag: int,
+                      context: int) -> Optional[_PostedRecv]:
+        for i, pr in enumerate(self.posted):
+            if pr.matches(src, tag, context):
+                return self.posted.pop(i)
+        return None
+
+    def _finish_inflight(self, st: _ConnState) -> Generator:
+        msg = st.inflight
+        st.inflight = None
+        src, tag, context, size = msg.env
+        self.messages_received += 1
+        if msg.on_done is not None:
+            yield from msg.on_done(st, msg)
+        elif msg.req is not None:
+            msg.req.complete(src, tag, size)
+        elif msg.u is not None:
+            u = msg.u
+            u.complete = True
+            if u.req is not None:
+                # a receive claimed this message while it was arriving
+                self.unexpected.remove(u)
+                yield from self._copy_out(u.buf, u.iov, size)
+                if u.buf is not None:
+                    self.node.mem.free(u.buf.addr)
+                u.req.complete(src, tag, size)
+        elif msg.trash is not None:
+            self.node.mem.free(msg.trash.addr)
+        return None
+
+    def finalize(self) -> Generator:
+        yield from self.channel.finalize()
+        return None
+
+
+def _match(want_src: int, want_tag: int, want_ctx: int, src: int,
+           tag: int, ctx: int) -> bool:
+    return (want_ctx == ctx and want_src in (src, ANY_SOURCE)
+            and want_tag in (tag, ANY_TAG))

@@ -1,0 +1,5 @@
+"""CH3-level RDMA-write design (§6)."""
+
+from .device import Ch3RdmaDevice
+
+__all__ = ["Ch3RdmaDevice"]

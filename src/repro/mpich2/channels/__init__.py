@@ -1,0 +1,39 @@
+"""RDMA Channel implementations — one per design in the paper.
+
+========== ================================ =========================
+name        class                            paper section
+========== ================================ =========================
+shm         :class:`ShmChannel`              Fig. 3 (reference)
+basic       :class:`BasicChannel`            §4.2
+piggyback   :class:`PiggybackChannel`        §4.3
+pipeline    :class:`PipelineChannel`         §4.4
+zerocopy    :class:`ZeroCopyChannel`         §5
+========== ================================ =========================
+"""
+
+from .base import (ChannelError, Connection, IovCursor, RdmaChannel,
+                   advance_iov, iov_total)
+from .basic import BasicChannel
+from .chunked import ChunkedChannel, ChunkedConnection
+from .multimethod import MultiMethodChannel
+from .piggyback import PiggybackChannel
+from .pipeline import PipelineChannel
+from .shm import ShmChannel
+from .tcp import TcpChannel
+from .zerocopy import ZeroCopyChannel
+
+#: design name -> channel class
+CHANNELS = {
+    cls.name: cls
+    for cls in (ShmChannel, BasicChannel, PiggybackChannel,
+                PipelineChannel, ZeroCopyChannel, MultiMethodChannel,
+                TcpChannel)
+}
+
+__all__ = [
+    "RdmaChannel", "Connection", "ChannelError", "IovCursor",
+    "advance_iov", "iov_total", "CHANNELS",
+    "ShmChannel", "BasicChannel", "PiggybackChannel", "PipelineChannel",
+    "ZeroCopyChannel", "MultiMethodChannel", "TcpChannel",
+    "ChunkedChannel", "ChunkedConnection",
+]

@@ -1,0 +1,458 @@
+"""Shared implementation of the chunked ring-buffer channels
+(piggyback §4.3, pipeline §4.4, zero-copy §5).
+
+The three designs differ only in two hooks:
+
+* ``PIPELINED``: whether put() copies all chunks and then posts the
+  RDMA writes, waiting for their completion (the §4.2/§4.3
+  copy-then-write serialization), or copies/posts chunk-by-chunk with
+  no completion wait so memcpy overlaps RDMA (§4.4);
+* ``ZEROCOPY``: whether iov elements at least ``zerocopy_threshold``
+  long are advertised via an RTS control chunk and pulled by the
+  receiver with RDMA read (§5), instead of streamed through the ring.
+
+Connection state machines for zero-copy (paper Fig. 10):
+
+* sender: ``put`` registers the user buffer (through the registration
+  cache), sends the RTS chunk and returns 0 for those bytes;
+  subsequent puts return 0 until the ACK chunk arrives, then the byte
+  count;
+* receiver: ``get`` finds the RTS at the stream head, registers the
+  destination (the caller's iov — CH3 hands the actual user buffer
+  down, so this is a true zero-copy), posts the RDMA read and returns
+  0; once the read completes, the next ``get`` emits the ACK and
+  returns the byte count.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence
+
+from ...config import KB
+from ...hw.memory import Buffer
+from ...ib.types import Opcode, WcStatus
+from ..regcache import RegistrationCache
+from .base import (ChannelError, Connection, IovCursor, RdmaChannel,
+                   iov_total)
+from .ring import (HDR_SIZE, KIND_ACK, KIND_CREDIT, KIND_DATA, KIND_RTS,
+                   RTS_PAYLOAD, RingReceiver, RingSender, pack_rts,
+                   unpack_rts)
+
+__all__ = ["ChunkedChannel", "ChunkedConnection"]
+
+_zc_ids = itertools.count(1)
+
+
+@dataclass
+class ZcopySend:
+    """Sender-side in-flight zero-copy operation."""
+    op_id: int
+    addr: int
+    nbytes: int
+    mr: object
+    acked: bool = False
+
+
+@dataclass
+class ZcopyRead:
+    """Receiver-side in-flight RDMA read."""
+    op_id: int
+    nbytes: int
+    wr_id: int
+    mrs: List[object] = field(default_factory=list)
+    done: bool = False
+
+
+class ChunkedConnection(Connection):
+    def __init__(self, channel: "ChunkedChannel", peer_rank: int):
+        super().__init__(channel, peer_rank)
+        self.sender: Optional[RingSender] = None
+        self.receiver: Optional[RingReceiver] = None
+        self.zc_send: Optional[ZcopySend] = None
+        self.zc_read: Optional[ZcopyRead] = None
+        #: working-set hints for copy cost modelling (0 = default);
+        #: set by the layer above, which knows the message size.
+        self.put_ws_hint = 0
+        self.get_ws_hint = 0
+
+
+class ChunkedChannel(RdmaChannel):
+    """Base class; see module docstring.  Subclasses set PIPELINED /
+    ZEROCOPY and a ``name``."""
+
+    PIPELINED = False
+    ZEROCOPY = False
+
+    def __init__(self, rank, node, ctx, cfg, ch_cfg):
+        super().__init__(rank, node, ctx, cfg, ch_cfg)
+        self.regcache = RegistrationCache(
+            ctx, capacity=ch_cfg.regcache_capacity,
+            enabled=ch_cfg.registration_cache)
+        self.nslots = ch_cfg.ring_size // ch_cfg.chunk_size
+
+    # ------------------------------------------------------------------
+    # establish: rings, staging, QPs, out-of-band exchange
+    # ------------------------------------------------------------------
+    @classmethod
+    def establish(cls, a: "ChunkedChannel", b: "ChunkedChannel") -> None:
+        if a.rank == b.rank:
+            raise ChannelError("cannot connect a rank to itself")
+        cq_a = a.node.hca.create_cq()
+        cq_b = b.node.hca.create_cq()
+        qp_a = a.node.hca.create_qp(cq_a)
+        qp_b = b.node.hca.create_qp(cq_b)
+        qp_a.connect(qp_b)
+
+        conn_a = ChunkedConnection(a, b.rank)
+        conn_b = ChunkedConnection(b, a.rank)
+        conn_a.qp, conn_b.qp = qp_a, qp_b
+
+        # one ring per direction, placed at the receiver (§4.2: "We put
+        # the shared-memory buffer in the receiver's main memory"),
+        # plus a tail-pointer replica at the sender for explicit
+        # credit returns (§4.3's "extra message" path)
+        for src, dst, conn_s, conn_d, qp_s, qp_d in (
+            (a, b, conn_a, conn_b, qp_a, qp_b),
+            (b, a, conn_b, conn_a, qp_b, qp_a),
+        ):
+            ring_size = src.ch_cfg.ring_size
+            chunk = src.ch_cfg.chunk_size
+            nslots = src.nslots
+            ring = dst.node.alloc(ring_size,
+                                  f"ring[{src.rank}->{dst.rank}]")
+            ring_mr = dst.node.hca.pd.register(ring.addr, ring_size)
+            staging = src.node.alloc(ring_size,
+                                     f"staging[{src.rank}->{dst.rank}]")
+            staging_mr = src.node.hca.pd.register(staging.addr, ring_size)
+            # tail replica at the sender, written by the receiver
+            credit_slot = src.node.alloc(8, "tail_replica")
+            credit_slot.write(b"\x00" * 8)
+            credit_slot_mr = src.node.hca.pd.register(credit_slot.addr, 8)
+            credit_staging = dst.node.alloc(8, "tail_staging")
+            credit_staging_mr = dst.node.hca.pd.register(
+                credit_staging.addr, 8)
+            threshold = max(1, int(nslots * src.ch_cfg.tail_update_fraction))
+            conn_s.sender = RingSender(src.ctx, qp_s, staging, staging_mr,
+                                       ring.addr, ring_mr.rkey,
+                                       nslots, chunk,
+                                       credit_slot=credit_slot)
+            conn_d.receiver = RingReceiver(
+                ring, ring_mr, nslots, chunk, threshold,
+                ctx=dst.ctx, qp=qp_d,
+                credit_staging=credit_staging,
+                credit_staging_mr=credit_staging_mr,
+                remote_credit_addr=credit_slot.addr,
+                remote_credit_rkey=credit_slot_mr.rkey)
+
+        a.conns[b.rank] = conn_a
+        b.conns[a.rank] = conn_b
+
+    # ------------------------------------------------------------------
+    # put
+    # ------------------------------------------------------------------
+    def _control_sweep(self, conn: ChunkedConnection) -> Generator:
+        """Process CREDIT/ACK chunks at the stream head so a sender
+        that is only put()-ing still sees tail-pointer updates and
+        zero-copy acknowledgements.  Stops at DATA/RTS, which belong
+        to get()."""
+        while True:
+            info = conn.receiver.peek()
+            if info is None:
+                return None
+            kind, _plen, credit, aux = info
+            if kind not in (KIND_CREDIT, KIND_ACK):
+                return None
+            conn.sender.absorb_credit(credit)
+            yield from self.ctx.cpu.work(self.cfg.chunk_overhead_cpu)
+            if kind == KIND_ACK:
+                if conn.zc_send is None or conn.zc_send.op_id != aux:
+                    raise ChannelError(f"stray zero-copy ACK {aux}")
+                conn.zc_send.acked = True
+            conn.receiver.consume_chunk()
+
+    def put(self, conn: ChunkedConnection, iov: Sequence[Buffer]
+            ) -> Generator[None, None, int]:
+        cur = IovCursor(iov)
+        if self.ZEROCOPY:
+            # §5: "the extra overhead in the implementation" — the
+            # threshold check and zero-copy state machine slightly
+            # increase small-message latency (7.4 -> 7.6 us)
+            yield from self.ctx.cpu.work(self.cfg.zerocopy_check_cpu)
+        yield from self._control_sweep(conn)
+
+        # 1. a pending zero-copy send gates the stream head
+        if conn.zc_send is not None:
+            zc = conn.zc_send
+            if not zc.acked:
+                return 0
+            if cur.remaining() < zc.nbytes:
+                raise ChannelError(
+                    "put retried with a shorter iov than the pending "
+                    "zero-copy operation")
+            yield from self.regcache.release(zc.mr)
+            conn.zc_send = None
+            cur.advance(zc.nbytes)
+            # fall through: more of the iov may be sendable now
+
+        pending_posts: List = []  # (chunk_index, payload_len) batches
+        while not cur.exhausted:
+            elem = cur.element_remaining()
+            if (self.ZEROCOPY and cur.at_element_start()
+                    and elem >= self.ch_cfg.zerocopy_threshold):
+                # flush any batched chunks so stream order is kept
+                yield from self._flush(conn, pending_posts)
+                pending_posts = []
+                started = yield from self._start_zcopy_send(conn, cur)
+                break  # zero-copy bytes complete later (via ACK)
+            if conn.sender.slots_free() <= 0:
+                break
+            yield from self._emit_data_chunk(conn, cur, pending_posts)
+        yield from self._flush(conn, pending_posts)
+        return cur.consumed
+
+    def _emit_data_chunk(self, conn: ChunkedConnection, cur: IovCursor,
+                         pending_posts: List) -> Generator:
+        """Copy up to one chunk's worth of stream bytes into staging.
+        In pipelined mode the chunk is posted immediately (so the next
+        chunk's copy overlaps this chunk's RDMA write); otherwise it is
+        batched for a copy-all-then-write-all flush."""
+        sender = conn.sender
+        take = min(cur.remaining(), sender.max_payload)
+        # never pack the head of a would-be zero-copy element behind
+        # other bytes in the same chunk
+        if self.ZEROCOPY:
+            limit = self._bytes_until_zcopy_element(cur)
+            if limit == 0:  # pragma: no cover - caller checks first
+                return None
+            take = min(take, limit)
+        index, payload = sender.build_chunk(
+            KIND_DATA, take, credit=conn.receiver.consumed)
+        conn.receiver.credit_sent = conn.receiver.consumed  # piggybacked
+        yield from self.ctx.cpu.work(self.cfg.chunk_overhead_cpu)
+        off = 0
+        while off < take:
+            piece = cur.current(take - off)
+            yield from self.node.membus.memcpy(
+                self.node.mem, payload.addr + off, piece.addr, len(piece),
+                working_set=conn.put_ws_hint or None)
+            cur.advance(len(piece))
+            off += len(piece)
+        if self.PIPELINED:
+            yield from sender.post(index, take, signaled=False)
+        else:
+            pending_posts.append((index, take))
+        return None
+
+    def _bytes_until_zcopy_element(self, cur: IovCursor) -> int:
+        """Stream bytes before the next element that will go zero-copy
+        (so a DATA chunk never swallows its head)."""
+        total = 0
+        probe = IovCursor([cur.current()]) if False else None
+        # walk the remaining elements without disturbing the cursor
+        first = True
+        i, off = cur._i, cur._off
+        while i < len(cur._bufs):
+            size = len(cur._bufs[i]) - (off if first else 0)
+            at_start = (off == 0) if first else True
+            if at_start and size >= self.ch_cfg.zerocopy_threshold:
+                return total
+            total += size
+            first = False
+            i += 1
+            off = 0
+        return total
+
+    def _flush(self, conn: ChunkedConnection, pending_posts: List
+               ) -> Generator:
+        """Non-pipelined mode: issue the batched RDMA writes and wait
+        for their completion (the serialization the paper's §4.4 calls
+        out)."""
+        if not pending_posts:
+            return None
+        last_i = len(pending_posts) - 1
+        wr = None
+        for k, (index, take) in enumerate(pending_posts):
+            wr = yield from conn.sender.post(index, take,
+                                             signaled=(k == last_i))
+        cqe = yield from self.ctx.wait_wr(conn.qp.send_cq, wr)
+        if cqe.status is not WcStatus.SUCCESS:
+            raise ChannelError(f"ring write failed: {cqe.status}")
+        return None
+
+    def _start_zcopy_send(self, conn: ChunkedConnection, cur: IovCursor
+                          ) -> Generator[None, None, bool]:
+        """Register the element and advertise it with an RTS chunk
+        (paper Fig. 10, left side)."""
+        sender = conn.sender
+        if sender.slots_free() <= 0:
+            return False
+        elem = cur.current()  # whole element (cursor at element start)
+        mr = yield from self.regcache.register(elem.addr, len(elem))
+        op_id = next(_zc_ids)
+        index, payload = sender.build_chunk(
+            KIND_RTS, RTS_PAYLOAD, credit=conn.receiver.consumed,
+            aux=op_id)
+        conn.receiver.credit_sent = conn.receiver.consumed
+        yield from self.ctx.cpu.work(self.cfg.chunk_overhead_cpu)
+        payload.write(pack_rts(elem.addr, len(elem), mr.rkey))
+        yield from sender.post(index, RTS_PAYLOAD, signaled=False)
+        conn.zc_send = ZcopySend(op_id, elem.addr, len(elem), mr)
+        return True
+
+    # ------------------------------------------------------------------
+    # get
+    # ------------------------------------------------------------------
+    def get(self, conn: ChunkedConnection, iov: Sequence[Buffer]
+            ) -> Generator[None, None, int]:
+        cur = IovCursor(iov)
+        if self.ZEROCOPY:
+            yield from self.ctx.cpu.work(
+                self.cfg.zerocopy_check_cpu / 2)
+
+        # 1. an in-flight RDMA read gates the stream head
+        if conn.zc_read is not None:
+            finished = yield from self._poll_zcopy_read(conn)
+            if not finished:
+                yield from self._maybe_credit(conn)
+                return 0
+            zc = conn.zc_read
+            if cur.remaining() < zc.nbytes:
+                raise ChannelError(
+                    "get retried with a shorter iov than the pending "
+                    "zero-copy read")
+            # paper: "calling the get function leads to an
+            # acknowledgment packet being sent to the sender"
+            if conn.sender.slots_free() <= 0:
+                return 0  # cannot ACK yet; retry
+            yield from self._emit_control(conn, KIND_ACK, aux=zc.op_id)
+            for mr in zc.mrs:
+                yield from self.regcache.release(mr)
+            conn.zc_read = None
+            cur.advance(zc.nbytes)
+
+        while True:
+            info = conn.receiver.peek()
+            if info is None:
+                break
+            kind, plen, credit, aux = info
+            conn.sender.absorb_credit(credit)
+            yield from self.ctx.cpu.work(self.cfg.chunk_overhead_cpu)
+            if kind == KIND_CREDIT:
+                conn.receiver.consume_chunk()
+            elif kind == KIND_ACK:
+                if conn.zc_send is None or conn.zc_send.op_id != aux:
+                    raise ChannelError(f"stray zero-copy ACK {aux}")
+                conn.zc_send.acked = True
+                conn.receiver.consume_chunk()
+            elif kind == KIND_DATA:
+                if cur.exhausted:
+                    break
+                n = yield from self._drain_data_chunk(conn, cur, plen)
+                if n == 0:
+                    break
+            elif kind == KIND_RTS:
+                if cur.exhausted:
+                    break
+                yield from self._start_zcopy_read(conn, cur, aux)
+                break
+            else:
+                raise ChannelError(f"bad chunk kind {kind}")
+        yield from self._maybe_credit(conn)
+        return cur.consumed
+
+    def _drain_data_chunk(self, conn: ChunkedConnection, cur: IovCursor,
+                          plen: int) -> Generator[None, None, int]:
+        recv = conn.receiver
+        avail = plen - recv.payload_off
+        src = recv.payload_buffer(plen)
+        moved = 0
+        while avail > 0 and not cur.exhausted:
+            piece = cur.current(avail)
+            yield from self.node.membus.memcpy(
+                self.node.mem, piece.addr, src.addr + moved, len(piece),
+                working_set=conn.get_ws_hint or None)
+            cur.advance(len(piece))
+            moved += len(piece)
+            avail -= len(piece)
+        recv.payload_off += moved
+        if recv.payload_off == plen:
+            recv.consume_chunk()
+        return moved
+
+    def _start_zcopy_read(self, conn: ChunkedConnection, cur: IovCursor,
+                          op_id: int) -> Generator:
+        """Paper Fig. 10, right side: register the destination and pull
+        the data with RDMA read."""
+        recv = conn.receiver
+        payload = recv.payload_buffer(RTS_PAYLOAD).read()
+        raddr, size, rkey = unpack_rts(payload)
+        if cur.remaining() < size:
+            raise ChannelError(
+                f"zero-copy RTS of {size} bytes but the get iov only "
+                f"has {cur.remaining()} — the caller must supply the "
+                f"full destination buffer")
+        sges = []
+        mrs = []
+        left = size
+        while left > 0:
+            piece = cur.current(left)
+            mr = yield from self.regcache.register(piece.addr, len(piece))
+            mrs.append(mr)
+            sges.append((piece.addr, len(piece), mr.lkey))
+            cur.advance(len(piece))
+            left -= len(piece)
+        # the advanced bytes are NOT counted as consumed yet: they
+        # complete when the read finishes (tracked by zc_read)
+        cur.consumed -= size
+        wr = yield from self.ctx.rdma_read(
+            conn.qp, sges, raddr, rkey, signaled=True)
+        conn.zc_read = ZcopyRead(op_id, size, wr.wr_id, mrs)
+        recv.consume_chunk()
+        return None
+
+    def _poll_zcopy_read(self, conn: ChunkedConnection
+                         ) -> Generator[None, None, bool]:
+        zc = conn.zc_read
+        if zc.done:
+            return True
+        while True:
+            cqe = self.ctx.poll_cq(conn.qp.send_cq)
+            if cqe is None:
+                return False
+            yield from self.ctx.cpu.work(self.cfg.cq_poll_cpu)
+            if cqe.opcode is Opcode.RDMA_READ and cqe.wr_id == zc.wr_id:
+                if cqe.status is not WcStatus.SUCCESS:
+                    raise ChannelError(f"zero-copy read failed: "
+                                       f"{cqe.status}")
+                zc.done = True
+                return True
+            # completions of other (error) ops would land here
+            raise ChannelError(f"unexpected completion {cqe}")
+
+    def _emit_control(self, conn: ChunkedConnection, kind: int,
+                      aux: int = 0) -> Generator:
+        index, _payload = conn.sender.build_chunk(
+            kind, 0, credit=conn.receiver.consumed, aux=aux)
+        conn.receiver.credit_sent = conn.receiver.consumed
+        yield from self.ctx.cpu.work(self.cfg.chunk_overhead_cpu)
+        yield from conn.sender.post(index, 0, signaled=False)
+        return None
+
+    def _maybe_credit(self, conn: ChunkedConnection) -> Generator:
+        """§4.3: 'If no messages are sent from the receiver to the
+        sender, eventually we will explicitly send the updates by using
+        an extra message.'  The extra message is an RDMA write into
+        the sender's tail-pointer replica — it needs no ring slot, so
+        credits flow even when both directions' rings are full."""
+        if conn.receiver.credit_due():
+            yield from conn.receiver.send_explicit_credit()
+        return None
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> Generator:
+        if not self.finalized:
+            yield from self.regcache.flush()
+        self.finalized = True
+        return None

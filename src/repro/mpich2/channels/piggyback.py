@@ -1,0 +1,20 @@
+"""Piggyback design (§4.3).
+
+One RDMA write per message: the head-pointer update travels inside the
+data chunk (flags + length + piggybacked credit), and tail-pointer
+updates are delayed/piggybacked on reverse traffic.  Copies and RDMA
+writes are still serialized within a put (§4.4 identifies that as the
+remaining bottleneck).
+"""
+
+from __future__ import annotations
+
+from .chunked import ChunkedChannel
+
+__all__ = ["PiggybackChannel"]
+
+
+class PiggybackChannel(ChunkedChannel):
+    name = "piggyback"
+    PIPELINED = False
+    ZEROCOPY = False

@@ -1,0 +1,21 @@
+"""Pipelining design (§4.4).
+
+Large messages are chunked; each chunk's RDMA write is posted
+immediately after its copy so the copy of chunk *n+1* overlaps the
+transfer of chunk *n*.  The memory bus (shared by the CPU copy and the
+HCA's DMA) becomes the bottleneck, capping bandwidth near
+``membus_bandwidth / 3`` — the paper's ">500 MB/s but well short of
+870 MB/s" result.
+"""
+
+from __future__ import annotations
+
+from .chunked import ChunkedChannel
+
+__all__ = ["PipelineChannel"]
+
+
+class PipelineChannel(ChunkedChannel):
+    name = "pipeline"
+    PIPELINED = True
+    ZEROCOPY = False

@@ -1,0 +1,244 @@
+"""Chunked ring-buffer machinery shared by the piggyback, pipeline and
+zero-copy designs (§4.3–§5).
+
+Wire format of one chunk (the "combine data and the new value of head
+pointer into a single message" layout of §4.3):
+
+====== ======= ====================================================
+offset  size    field
+====== ======= ====================================================
+0       1       seq — leading polling flag
+1       1       kind (DATA / RTS / ACK / CREDIT)
+2       2       payload length (u16 LE)
+4       8       credit (u64 LE): chunks of the *reverse* direction
+                the sender of this chunk has consumed (the
+                piggybacked tail-pointer update)
+12      4       aux (u32 LE): zero-copy operation id
+16      len     payload
+16+len  1       seq again — trailing polling flag ("bottom fill")
+====== ======= ====================================================
+
+The receiver detects arrival by polling both flags: the chunk at ring
+position ``c`` is valid when both equal ``seq(c) = (c % 251) + 1``.
+251 is prime, so a slot's previous generation always carries a
+different seq as long as the slot count is not a multiple of 251
+(asserted at setup); a partially-stale read can never be mistaken for
+a fresh chunk.
+
+One RDMA write per chunk carries header+payload+trailer contiguously —
+exactly one operation per message, which is the whole point of §4.3.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, Optional, Tuple
+
+from ...hw.memory import Buffer
+from ...ib.mr import MemoryRegion
+from ...ib.types import WcStatus, WorkRequest
+
+__all__ = ["HDR_SIZE", "TRAILER_SIZE", "SEQ_MOD", "KIND_DATA", "KIND_RTS",
+           "KIND_ACK", "KIND_CREDIT", "RingSender", "RingReceiver",
+           "pack_rts", "unpack_rts", "seq_of"]
+
+HDR_SIZE = 16
+TRAILER_SIZE = 1
+SEQ_MOD = 251  # prime; seq bytes are 1..251, 0 = never written
+
+KIND_DATA = 1
+KIND_RTS = 2
+KIND_ACK = 3
+KIND_CREDIT = 4
+
+_RTS_FMT = "<QQQ"  # addr, size, rkey
+RTS_PAYLOAD = struct.calcsize(_RTS_FMT)
+
+
+def seq_of(chunk_index: int) -> int:
+    return (chunk_index % SEQ_MOD) + 1
+
+
+def pack_rts(addr: int, size: int, rkey: int) -> bytes:
+    return struct.pack(_RTS_FMT, addr, size, rkey)
+
+
+def unpack_rts(payload: bytes) -> Tuple[int, int, int]:
+    return struct.unpack(_RTS_FMT, payload)
+
+
+class RingSender:
+    """Sender-side view of one direction: the preregistered staging
+    ring plus the remote ring's address/rkey and flow-control state.
+
+    ``credit_slot`` is the local tail-pointer *replica* (§4.2/§4.3):
+    an 8-byte counter the receiver updates with a dedicated RDMA write
+    when it must return credits explicitly.  Because that write needs
+    no ring slot, flow control can never deadlock with both rings
+    full.
+    """
+
+    def __init__(self, ctx, qp, staging: Buffer, staging_mr: MemoryRegion,
+                 remote_base: int, remote_rkey: int, nslots: int,
+                 chunk_size: int, credit_slot: Buffer = None):
+        assert nslots % SEQ_MOD != 0, "slot count aliases the seq space"
+        self.ctx = ctx
+        self.qp = qp
+        self.staging = staging
+        self.staging_mr = staging_mr
+        self.remote_base = remote_base
+        self.remote_rkey = remote_rkey
+        self.nslots = nslots
+        self.chunk_size = chunk_size
+        #: next chunk index to send (monotonic)
+        self.next_chunk = 0
+        #: peer-consumed chunk count (from piggybacked/explicit credits)
+        self.credit = 0
+        #: local tail replica written by the peer's explicit updates
+        self.credit_slot = credit_slot
+        self.max_payload = chunk_size - HDR_SIZE - TRAILER_SIZE
+        self.chunks_sent = 0
+
+    def slots_free(self) -> int:
+        self.poll_credit_slot()
+        return self.nslots - (self.next_chunk - self.credit)
+
+    def poll_credit_slot(self) -> None:
+        if self.credit_slot is not None:
+            self.absorb_credit(
+                struct.unpack("<Q", self.credit_slot.read())[0])
+
+    def absorb_credit(self, credit: int) -> None:
+        """Credits are monotonic counters; stale values are ignored."""
+        if credit > self.credit:
+            self.credit = credit
+
+    def build_chunk(self, kind: int, payload_len: int, credit: int,
+                    aux: int = 0) -> Tuple[int, Buffer]:
+        """Reserve the next chunk index, write its header+trailer into
+        the staging slot, and return ``(chunk_index, payload_buffer)``
+        for the caller to fill before :meth:`post`-ing it.
+
+        Reserving and posting are separate so the piggyback design can
+        copy *all* chunks first and only then issue the RDMA writes
+        (the §4.2/§4.3 copy-then-write serialization that §4.4's
+        pipelining removes)."""
+        if self.slots_free() <= 0:
+            raise RuntimeError("build_chunk without a free slot")
+        if payload_len > self.max_payload:
+            raise ValueError(f"payload {payload_len} exceeds chunk "
+                             f"capacity {self.max_payload}")
+        index = self.next_chunk
+        self.next_chunk += 1
+        slot = index % self.nslots
+        base = slot * self.chunk_size
+        seq = seq_of(index)
+        view = self.staging.view()
+        view[base] = seq
+        view[base + 1] = kind
+        view[base + 2:base + 4] = memoryview(
+            struct.pack("<H", payload_len))
+        view[base + 4:base + 12] = memoryview(struct.pack("<Q", credit))
+        view[base + 12:base + 16] = memoryview(struct.pack("<I", aux))
+        view[base + HDR_SIZE + payload_len] = seq
+        return index, self.staging.sub(base + HDR_SIZE, payload_len)
+
+    def post(self, chunk_index: int, payload_len: int,
+             signaled: bool = False
+             ) -> Generator[None, None, WorkRequest]:
+        """RDMA-write a built chunk to the peer's ring."""
+        slot = chunk_index % self.nslots
+        base = slot * self.chunk_size
+        nbytes = HDR_SIZE + payload_len + TRAILER_SIZE
+        wr = yield from self.ctx.rdma_write(
+            self.qp,
+            [(self.staging.addr + base, nbytes, self.staging_mr.lkey)],
+            self.remote_base + base, self.remote_rkey,
+            signaled=signaled)
+        self.chunks_sent += 1
+        return wr
+
+
+class RingReceiver:
+    """Receiver-side view of one direction: the local ring plus the
+    read cursor and consumption/credit bookkeeping."""
+
+    def __init__(self, ring: Buffer, ring_mr: MemoryRegion, nslots: int,
+                 chunk_size: int, credit_threshold: int,
+                 ctx=None, qp=None, credit_staging: Buffer = None,
+                 credit_staging_mr: MemoryRegion = None,
+                 remote_credit_addr: int = 0,
+                 remote_credit_rkey: int = 0):
+        assert nslots % SEQ_MOD != 0
+        self.ring = ring
+        self.ring_mr = ring_mr
+        self.nslots = nslots
+        self.chunk_size = chunk_size
+        # explicit tail-update plumbing (§4.3's "extra message"): an
+        # RDMA write of the consumed counter into the sender's replica
+        self.ctx = ctx
+        self.qp = qp
+        self.credit_staging = credit_staging
+        self.credit_staging_mr = credit_staging_mr
+        self.remote_credit_addr = remote_credit_addr
+        self.remote_credit_rkey = remote_credit_rkey
+        #: next chunk index expected (monotonic)
+        self.next_chunk = 0
+        #: bytes of the current chunk's payload already delivered
+        self.payload_off = 0
+        #: chunks fully consumed (the tail pointer, in chunks)
+        self.consumed = 0
+        #: value of ``consumed`` last communicated to the sender
+        self.credit_sent = 0
+        self.credit_threshold = max(1, credit_threshold)
+        self.chunks_received = 0
+
+    def peek(self) -> Optional[Tuple[int, int, int, int]]:
+        """If the next chunk has fully arrived, return
+        (kind, payload_len, credit, aux) without consuming it."""
+        slot = self.next_chunk % self.nslots
+        base = slot * self.chunk_size
+        seq = seq_of(self.next_chunk)
+        view = self.ring.view()
+        if view[base] != seq:
+            return None
+        payload_len = struct.unpack("<H",
+                                    bytes(view[base + 2:base + 4]))[0]
+        if view[base + HDR_SIZE + payload_len] != seq:
+            return None  # header landed, trailer not yet (torn write)
+        kind = int(view[base + 1])
+        credit = struct.unpack("<Q", bytes(view[base + 4:base + 12]))[0]
+        aux = struct.unpack("<I", bytes(view[base + 12:base + 16]))[0]
+        return kind, payload_len, credit, aux
+
+    def payload_buffer(self, payload_len: int) -> Buffer:
+        """The unread remainder of the current chunk's payload."""
+        slot = self.next_chunk % self.nslots
+        base = slot * self.chunk_size
+        return self.ring.sub(base + HDR_SIZE + self.payload_off,
+                             payload_len - self.payload_off)
+
+    def consume_chunk(self) -> None:
+        """Mark the current chunk fully processed."""
+        self.next_chunk += 1
+        self.payload_off = 0
+        self.consumed += 1
+        self.chunks_received += 1
+
+    def credit_due(self) -> bool:
+        """§4.3 delayed tail update: explicit credit once the unsent
+        consumption exceeds the threshold."""
+        return self.consumed - self.credit_sent >= self.credit_threshold
+
+    def send_explicit_credit(self) -> Generator:
+        """The §4.3 "extra message": RDMA-write the consumed counter
+        into the sender's tail replica.  Needs no ring slot, so flow
+        control cannot deadlock."""
+        self.credit_staging.write(struct.pack("<Q", self.consumed))
+        yield from self.ctx.rdma_write(
+            self.qp,
+            [(self.credit_staging.addr, 8, self.credit_staging_mr.lkey)],
+            self.remote_credit_addr, self.remote_credit_rkey,
+            signaled=False)
+        self.credit_sent = self.consumed
+        return None

@@ -1,0 +1,123 @@
+"""Globally-shared-memory reference implementation (paper Fig. 3).
+
+This is the scheme the basic design *emulates* over RDMA: a ring
+buffer in (actually) shared memory with head and tail pointers, put
+copying in and adjusting head, get copying out and adjusting tail.
+Both ranks must be placed on the same node.  It exists as the
+semantics reference for the FIFO-pipe property tests and to measure
+what the emulation costs relative to true shared memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, Sequence
+
+from ...hw.memory import Buffer
+from ...sim.sync import Gate
+from .base import (ChannelError, Connection, IovCursor, RdmaChannel,
+                   iov_total)
+
+__all__ = ["ShmChannel", "ShmConnection"]
+
+_PTR_SIZE = 8
+
+
+class _SharedRing:
+    """One direction: ring + head + tail words in shared memory."""
+
+    def __init__(self, node, size: int):
+        self.size = size
+        self.ring = node.alloc(size, "shm.ring")
+        self.head_word = node.alloc(_PTR_SIZE, "shm.head")
+        self.tail_word = node.alloc(_PTR_SIZE, "shm.tail")
+        self.head_word.write(struct.pack("<Q", 0))
+        self.tail_word.write(struct.pack("<Q", 0))
+
+    def head(self) -> int:
+        return struct.unpack("<Q", self.head_word.read())[0]
+
+    def tail(self) -> int:
+        return struct.unpack("<Q", self.tail_word.read())[0]
+
+    def set_head(self, v: int) -> None:
+        self.head_word.write(struct.pack("<Q", v))
+
+    def set_tail(self, v: int) -> None:
+        self.tail_word.write(struct.pack("<Q", v))
+
+
+class ShmConnection(Connection):
+    def __init__(self, channel, peer_rank, out_ring, in_ring, gate):
+        super().__init__(channel, peer_rank)
+        self.out_ring: _SharedRing = out_ring
+        self.in_ring: _SharedRing = in_ring
+        self.gate: Gate = gate
+
+
+class ShmChannel(RdmaChannel):
+    name = "shm"
+    hint_per_connection = True
+
+    @classmethod
+    def establish(cls, a: "ShmChannel", b: "ShmChannel") -> None:
+        if a.node is not b.node:
+            raise ChannelError(
+                "the shared-memory channel requires both ranks on the "
+                "same node")
+        ring_ab = _SharedRing(a.node, a.ch_cfg.ring_size)
+        ring_ba = _SharedRing(a.node, a.ch_cfg.ring_size)
+        gate = Gate(a.node.cluster.sim)
+        a.conns[b.rank] = ShmConnection(a, b.rank, ring_ab, ring_ba, gate)
+        b.conns[a.rank] = ShmConnection(b, a.rank, ring_ba, ring_ab, gate)
+
+    def wait_hints(self, conn: ShmConnection) -> list:
+        return [conn.gate.wait()]
+
+    def put(self, conn: ShmConnection, iov: Sequence[Buffer]
+            ) -> Generator[None, None, int]:
+        ring = conn.out_ring
+        free = ring.size - (ring.head() - ring.tail())
+        n = min(free, iov_total(iov))
+        if n <= 0:
+            return 0
+        cur = IovCursor(iov)
+        head = ring.head()
+        start = head % ring.size
+        copied = 0
+        while copied < n:
+            pos = (start + copied) % ring.size
+            run = min(n - copied, ring.size - pos)
+            piece = cur.current(run)
+            run = min(run, len(piece))
+            yield from self.node.membus.memcpy(
+                self.node.mem, ring.ring.addr + pos, piece.addr, run)
+            cur.advance(run)
+            copied += run
+        ring.set_head(head + n)
+        conn.gate.open()
+        return n
+
+    def get(self, conn: ShmConnection, iov: Sequence[Buffer]
+            ) -> Generator[None, None, int]:
+        ring = conn.in_ring
+        avail = ring.head() - ring.tail()
+        n = min(avail, iov_total(iov))
+        if n <= 0:
+            return 0
+        cur = IovCursor(iov)
+        tail = ring.tail()
+        start = tail % ring.size
+        copied = 0
+        while copied < n:
+            pos = (start + copied) % ring.size
+            run = min(n - copied, ring.size - pos)
+            piece = cur.current(run)
+            run = min(run, len(piece))
+            yield from self.node.membus.memcpy(
+                self.node.mem, piece.addr, ring.ring.addr + pos, run)
+            cur.advance(run)
+            copied += run
+        ring.set_tail(tail + n)
+        conn.gate.open()
+        return n

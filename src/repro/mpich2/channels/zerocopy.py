@@ -1,0 +1,25 @@
+"""Zero-copy design (§5) — the paper's headline RDMA Channel design.
+
+Small messages use the pipelined ring (one RDMA write, piggybacked
+pointers).  Elements of at least ``zerocopy_threshold`` bytes are
+advertised with a special RTS packet through the ring; the receiver
+registers the destination user buffer (via the registration cache) and
+*pulls* the data with RDMA read, then acknowledges so the sender can
+release its registration.  No intermediate copies touch large
+payloads, so peak bandwidth approaches the raw RDMA read limit
+(857 MB/s on the paper's testbed) at the cost of a slightly higher
+small-message latency (7.6 µs vs 7.4 µs) from the threshold check and
+state machinery.
+"""
+
+from __future__ import annotations
+
+from .chunked import ChunkedChannel
+
+__all__ = ["ZeroCopyChannel"]
+
+
+class ZeroCopyChannel(ChunkedChannel):
+    name = "zerocopy"
+    PIPELINED = True
+    ZEROCOPY = True

@@ -1,0 +1,112 @@
+"""Registration (pin-down) cache — §5 of the paper.
+
+Registration and deregistration are expensive on VAPI, so the
+zero-copy designs keep user-buffer registrations alive in a cache
+keyed by (address, length): a reused buffer skips the pin-down cost
+entirely.  Deregistration happens lazily, when the cache exceeds its
+capacity (LRU), mirroring "deregistration happens only when there are
+too many registered user buffers".
+
+The paper notes effectiveness depends on the application's buffer
+reuse rate (and cites high reuse in the NAS benchmarks); the ablation
+benchmark ``test_ablation_regcache`` measures exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generator, Optional, Tuple
+
+from ..config import HardwareConfig
+from ..ib.mr import MemoryRegion
+from ..ib.types import Access
+from ..ib.verbs import VapiContext
+
+__all__ = ["RegistrationCache"]
+
+
+class RegistrationCache:
+    """Per-process LRU cache of memory registrations."""
+
+    def __init__(self, ctx: VapiContext, capacity: int = 64,
+                 enabled: bool = True):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.ctx = ctx
+        self.capacity = capacity
+        self.enabled = enabled
+        self._cache: "OrderedDict[Tuple[int, int], MemoryRegion]" = \
+            OrderedDict()
+        #: regions handed out and not yet released (refcounted)
+        self._refs: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def register(self, addr: int, length: int,
+                 access: Access = Access.all_access()
+                 ) -> Generator[None, None, MemoryRegion]:
+        """Get a registration covering ``[addr, addr+length)``; a cache
+        hit costs only the lookup, a miss pays the full pin-down."""
+        key = (addr, length)
+        yield from self.ctx.cpu.work(self.ctx.cfg.regcache_lookup_cost)
+        if self.enabled:
+            mr = self._cache.get(key)
+            if mr is not None and mr.valid:
+                self._cache.move_to_end(key)
+                self._refs[key] = self._refs.get(key, 0) + 1
+                self.hits += 1
+                return mr
+        self.misses += 1
+        mr = yield from self.ctx.reg_mr(addr, length, access)
+        if self.enabled:
+            self._cache[key] = mr
+            self._refs[key] = self._refs.get(key, 0) + 1
+        return mr
+
+    def release(self, mr: MemoryRegion) -> Generator:
+        """Done using a registration.  With the cache enabled the MR
+        stays pinned (subject to LRU eviction); otherwise it is
+        deregistered immediately."""
+        key = (mr.addr, mr.length)
+        if not self.enabled:
+            yield from self.ctx.dereg_mr(mr)
+            return None
+        refs = self._refs.get(key, 0) - 1
+        if refs > 0:
+            self._refs[key] = refs
+        else:
+            self._refs.pop(key, None)
+        yield from self._evict_excess()
+        return None
+
+    def _evict_excess(self) -> Generator:
+        while len(self._cache) > self.capacity:
+            # evict the least recently used unreferenced entry
+            victim_key = None
+            for key in self._cache:
+                if self._refs.get(key, 0) == 0:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                return None  # everything in use; try again later
+            mr = self._cache.pop(victim_key)
+            if mr.valid:
+                yield from self.ctx.dereg_mr(mr)
+        return None
+
+    def flush(self) -> Generator:
+        """Deregister every unreferenced cached entry (finalize path)."""
+        for key in list(self._cache):
+            if self._refs.get(key, 0) == 0:
+                mr = self._cache.pop(key)
+                if mr.valid:
+                    yield from self.ctx.dereg_mr(mr)
+        return None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,38 @@
+"""NAS Parallel Benchmarks over the simulated MPI stack.
+
+Real (scaled-down) kernels for correctness — each verified against a
+serial reference — plus class A/B communication skeletons for the
+paper's Fig. 16/17 application-level evaluation.
+"""
+
+from .adi import adi_kernel, adi_serial_reference
+from .bt import bt_kernel, bt_serial_reference
+from .cg import cg_kernel, cg_serial_reference
+from .common import NasResult
+from .ep import ep_kernel, ep_serial_reference
+from .ft import ft_kernel, ft_serial_reference
+from .is_ import is_kernel
+from .lu import lu_kernel, lu_serial_reference
+from .mg import mg_kernel, mg_serial_reference
+from .skeleton import (CLASS_A_BENCHMARKS, CLASS_B_BENCHMARKS,
+                       NAS_SKELETONS, run_skeleton)
+from .sp import sp_kernel, sp_serial_reference
+
+#: kernel registry: name -> generator function(mpi, klass=...)
+KERNELS = {
+    "ep": ep_kernel,
+    "cg": cg_kernel,
+    "mg": mg_kernel,
+    "ft": ft_kernel,
+    "is": is_kernel,
+    "lu": lu_kernel,
+    "sp": sp_kernel,
+    "bt": bt_kernel,
+}
+
+__all__ = [
+    "KERNELS", "NasResult", "run_skeleton", "NAS_SKELETONS",
+    "CLASS_A_BENCHMARKS", "CLASS_B_BENCHMARKS",
+    "ep_kernel", "cg_kernel", "mg_kernel", "ft_kernel", "is_kernel",
+    "lu_kernel", "sp_kernel", "bt_kernel",
+]

@@ -1,0 +1,59 @@
+"""Command-line NAS runner.
+
+    python -m repro.nas cg --class T --np 4 --design zerocopy
+    python -m repro.nas all --class T --np 4       # every kernel
+    python -m repro.nas cg --skeleton A --np 4     # class A skeleton
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..mpi import run_mpi
+from . import KERNELS, run_skeleton
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.nas",
+        description="Run NAS Parallel Benchmark kernels on the "
+                    "simulated cluster")
+    ap.add_argument("benchmark",
+                    choices=sorted(KERNELS) + ["all"])
+    ap.add_argument("--class", dest="klass", default="T",
+                    choices=["T", "S", "W"],
+                    help="real-kernel problem class (default T)")
+    ap.add_argument("--skeleton", default=None, choices=["A", "B"],
+                    help="run the class A/B performance skeleton "
+                         "instead of the real kernel")
+    ap.add_argument("--np", dest="nprocs", type=int, default=4)
+    ap.add_argument("--design", default="zerocopy")
+    args = ap.parse_args(argv)
+
+    names = sorted(KERNELS) if args.benchmark == "all" \
+        else [args.benchmark]
+    status = 0
+    for name in names:
+        if args.skeleton:
+            sec, mops = run_skeleton(name, args.skeleton, args.nprocs,
+                                     args.design)
+            print(f"{name.upper()}.{args.skeleton} x{args.nprocs} "
+                  f"[{args.design}]: {sec:.2f}s simulated, "
+                  f"{mops:.1f} Mop/s")
+        else:
+            results, elapsed = run_mpi(args.nprocs, KERNELS[name],
+                                       design=args.design,
+                                       args=(args.klass,))
+            r = results[0]
+            ok = "VERIFIED" if r.verified else "FAILED VERIFICATION"
+            print(f"{name.upper()}.{args.klass} x{args.nprocs} "
+                  f"[{args.design}]: {ok}, value={r.value:.6g}, "
+                  f"{elapsed * 1e3:.2f} ms simulated")
+            if not r.verified:
+                status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""BT — Block Tridiagonal solver (thin wrapper over the shared ADI
+machinery; see :mod:`repro.nas.adi`)."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .adi import ADI_CLASSES, adi_kernel, adi_serial_reference
+from .common import NasResult
+
+__all__ = ["bt_kernel", "bt_serial_reference", "BT_CLASSES"]
+
+BT_CLASSES = ADI_CLASSES
+
+
+def bt_kernel(mpi, klass: str = "S", seed: int = 662607
+              ) -> Generator[None, None, NasResult]:
+    result = yield from adi_kernel(mpi, "bt", klass, seed)
+    return result
+
+
+def bt_serial_reference(klass: str = "S", seed: int = 662607) -> float:
+    return adi_serial_reference("bt", klass, seed)

@@ -1,0 +1,139 @@
+"""CG — Conjugate Gradient.
+
+Estimates the largest eigenvalue of a sparse symmetric
+positive-definite matrix by inverse power iteration, each step solved
+with conjugate gradients.  Rows are block-partitioned; the
+matrix-vector product gathers the full iterate with an allgather
+(dense-vector exchange — the paper-era NPB uses a transpose exchange;
+the traffic volume per iteration is the same order), and the dot
+products are allreduces.  CG is latency-sensitive: many small
+allreduces per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Tuple
+
+import numpy as np
+import numpy.linalg as la
+
+from ..mpi.datatypes import SUM
+from .common import NasResult, block_range, nas_rng
+
+__all__ = ["cg_kernel", "cg_serial_reference", "make_spd_matrix",
+           "CG_CLASSES"]
+
+#: (n, nonzeros per row, outer iterations, lambda shift)
+CG_CLASSES = {
+    "T": (128, 8, 4, 10.0),
+    "S": (512, 10, 8, 10.0),
+    "W": (2048, 11, 10, 12.0),
+}
+
+
+def make_spd_matrix(n: int, nnz_row: int, seed: int = 314159
+                    ) -> np.ndarray:
+    """Random sparse-pattern SPD matrix (dense storage — the kernels
+    run at tiny scale; the *communication* is what's under test)."""
+    rng = nas_rng(seed)
+    a = np.zeros((n, n))
+    for i in range(n):
+        cols = rng.choice(n, size=nnz_row, replace=False)
+        vals = rng.standard_normal(nnz_row) * 0.5
+        a[i, cols] += vals
+    a = (a + a.T) / 2
+    # diagonal dominance => SPD
+    a[np.diag_indices(n)] = np.abs(a).sum(axis=1) + 1.0
+    return a
+
+
+def cg_kernel(mpi, klass: str = "S", cg_iters: int = 15,
+              seed: int = 314159) -> Generator[None, None, NasResult]:
+    n, nnz, outer_iters, shift = CG_CLASSES[klass]
+    a = make_spd_matrix(n, nnz, seed)      # every rank builds the same A
+    lo, hi = block_range(n, mpi.size, mpi.rank)
+    a_local = a[lo:hi, :]                  # my row block
+
+    x = np.ones(n)
+    zeta = 0.0
+    t0 = mpi.wtime()
+
+    def dot(u_local, v_local):
+        local = np.array([float(u_local @ v_local)])
+        out = np.zeros(1)
+        yield from mpi.Allreduce(local, out, op=SUM)
+        return float(out[0])
+
+    def matvec(v_full) -> np.ndarray:
+        return a_local @ v_full
+
+    def gather_full(part_local) -> Generator:
+        """Assemble the full vector from row blocks (allgatherv via
+        padded allgather)."""
+        blk = -(-n // mpi.size)
+        padded = np.zeros(blk)
+        padded[:hi - lo] = part_local
+        out = np.zeros(blk * mpi.size)
+        yield from mpi.Allgather(padded, out)
+        full = np.zeros(n)
+        for r in range(mpi.size):
+            rlo, rhi = block_range(n, mpi.size, r)
+            full[rlo:rhi] = out[r * blk:r * blk + (rhi - rlo)]
+        return full
+
+    for _it in range(outer_iters):
+        # --- CG solve of A z = x ---
+        z_local = np.zeros(hi - lo)
+        r_local = x[lo:hi].copy()
+        p_full = x.copy()
+        rho = yield from dot(r_local, r_local)
+        for _k in range(cg_iters):
+            q_local = matvec(p_full)
+            p_local = p_full[lo:hi]
+            alpha_den = yield from dot(p_local, q_local)
+            alpha = rho / alpha_den
+            z_local += alpha * p_local
+            r_local -= alpha * q_local
+            rho_new = yield from dot(r_local, r_local)
+            beta = rho_new / rho
+            rho = rho_new
+            p_local_new = r_local + beta * p_local
+            p_full = yield from gather_full(p_local_new)
+        # --- shift + normalize ---
+        z_full = yield from gather_full(z_local)
+        xz = yield from dot(x[lo:hi], z_local)
+        zz = yield from dot(z_local, z_local)
+        zeta = shift + 1.0 / xz
+        x = z_full / np.sqrt(zz)
+
+    elapsed = mpi.wtime() - t0
+    ref = cg_serial_reference(klass, cg_iters, seed)
+    verified = abs(zeta - ref) <= 1e-8 * max(abs(ref), 1.0)
+    return NasResult("cg", verified, zeta, elapsed,
+                     iterations=outer_iters)
+
+
+def cg_serial_reference(klass: str = "S", cg_iters: int = 15,
+                        seed: int = 314159) -> float:
+    """Serial replica of the same algorithm (numpy only)."""
+    n, nnz, outer_iters, shift = CG_CLASSES[klass]
+    a = make_spd_matrix(n, nnz, seed)
+    x = np.ones(n)
+    zeta = 0.0
+    for _it in range(outer_iters):
+        z = np.zeros(n)
+        r = x.copy()
+        p = x.copy()
+        rho = r @ r
+        for _k in range(cg_iters):
+            q = a @ p
+            alpha = rho / (p @ q)
+            z += alpha * p
+            r -= alpha * q
+            rho_new = r @ r
+            beta = rho_new / rho
+            rho = rho_new
+            p = r + beta * p
+        zeta = shift + 1.0 / (x @ z)
+        x = z / la.norm(z)
+    return zeta

@@ -1,0 +1,80 @@
+"""EP — Embarrassingly Parallel.
+
+Each rank generates its share of uniform pairs, maps them through the
+Marsaglia polar method's acceptance test, and tallies Gaussian pairs
+per annulus; one allreduce combines the tallies.  Communication is a
+single reduction — EP measures raw per-node throughput, which is why
+the paper's three designs tie on it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..mpi.datatypes import SUM
+from .common import NasResult, block_range, nas_rng
+
+__all__ = ["ep_kernel", "ep_serial_reference", "EP_CLASSES"]
+
+#: log2 of pair count per class (real, runnable sizes)
+EP_CLASSES = {"T": 12, "S": 16, "W": 18}
+
+
+def _tally(lo: int, hi: int, seed: int):
+    """Deterministic batch: same result regardless of partitioning,
+    because each index derives its own counter-based sample."""
+    rng = nas_rng(seed)
+    # counter-based: jump the generator to `lo` cheaply by hashing
+    # indices instead of sequential draws
+    idx = np.arange(lo, hi, dtype=np.uint64)
+    # splitmix64-style hash -> two uniforms per index
+    z = (idx + np.uint64(0x9E3779B97F4A7C15)) * np.uint64(
+        0xBF58476D1CE4E5B9)
+    z ^= z >> np.uint64(27)
+    z *= np.uint64(0x94D049BB133111EB)
+    z ^= z >> np.uint64(31)
+    u1 = (z >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+    z2 = (idx * np.uint64(0xD1342543DE82EF95) + np.uint64(seed * 2 + 1))
+    z2 ^= z2 >> np.uint64(29)
+    z2 *= np.uint64(0x2545F4914F6CDD1D)
+    z2 ^= z2 >> np.uint64(32)
+    u2 = (z2 >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+    x = 2.0 * u1 - 1.0
+    y = 2.0 * u2 - 1.0
+    t = x * x + y * y
+    ok = (t <= 1.0) & (t > 0.0)
+    f = np.zeros_like(t)
+    f[ok] = np.sqrt(-2.0 * np.log(t[ok]) / t[ok])
+    gx = np.abs(x[ok] * f[ok])
+    gy = np.abs(y[ok] * f[ok])
+    m = np.maximum(gx, gy).astype(np.int64)
+    counts = np.bincount(m[m < 10], minlength=10).astype(np.float64)
+    sx = float((x[ok] * f[ok]).sum())
+    sy = float((y[ok] * f[ok]).sum())
+    return counts, sx, sy
+
+
+def ep_kernel(mpi, klass: str = "S", seed: int = 271828
+              ) -> Generator[None, None, NasResult]:
+    n = 1 << EP_CLASSES[klass]
+    lo, hi = block_range(n, mpi.size, mpi.rank)
+    t0 = mpi.wtime()
+    counts, sx, sy = _tally(lo, hi, seed)
+    local = np.concatenate([counts, [sx, sy]])
+    out = np.zeros_like(local)
+    yield from mpi.Allreduce(local, out, op=SUM)
+    elapsed = mpi.wtime() - t0
+    ref_counts, ref_sx, ref_sy = ep_serial_reference(klass, seed)
+    verified = (np.allclose(out[:10], ref_counts)
+                and abs(out[10] - ref_sx) < 1e-6 * max(abs(ref_sx), 1)
+                and abs(out[11] - ref_sy) < 1e-6 * max(abs(ref_sy), 1))
+    return NasResult("ep", verified, float(out[:10].sum()), elapsed,
+                     iterations=1,
+                     extra={"counts": out[:10].tolist()})
+
+
+def ep_serial_reference(klass: str = "S", seed: int = 271828):
+    n = 1 << EP_CLASSES[klass]
+    return _tally(0, n, seed)

@@ -1,0 +1,142 @@
+"""FT — 3D FFT PDE solver.
+
+Solves u_t = alpha * laplacian(u) spectrally: forward 3D FFT once,
+then per time step multiply by the exponential factors and inverse
+transform to evaluate a checksum.  The 3D FFT is distributed by slab
+decomposition along z: local 2D FFTs over (x, y), a global transpose
+(alltoall), then 1D FFTs along the remaining axis.  FT is the most
+alltoall-heavy NAS kernel — large dense exchanges.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Tuple
+
+import numpy as np
+
+from .common import NasResult, nas_rng
+
+__all__ = ["ft_kernel", "ft_serial_reference", "FT_CLASSES"]
+
+#: (nx, ny, nz, timesteps)
+FT_CLASSES = {
+    "T": (16, 16, 16, 3),
+    "S": (32, 32, 32, 4),
+    "W": (64, 64, 32, 4),
+}
+
+_ALPHA = 1e-6
+
+
+def _exp_factors(nx: int, ny: int, nz: int, step: int) -> np.ndarray:
+    kx = np.fft.fftfreq(nx) * nx
+    ky = np.fft.fftfreq(ny) * ny
+    kz = np.fft.fftfreq(nz) * nz
+    k2 = (kx[:, None, None] ** 2 + ky[None, :, None] ** 2
+          + kz[None, None, :] ** 2)
+    return np.exp(-4.0 * _ALPHA * (np.pi ** 2) * k2 * step)
+
+
+def _transpose_z_to_x(mpi, local: np.ndarray, nx, ny, nz
+                      ) -> Generator[None, None, np.ndarray]:
+    """Global transpose: z-slabs -> x-slabs via alltoall.
+
+    ``local``: (nx, ny, nz/p) complex.  Returns (nx/p, ny, nz)."""
+    p = mpi.size
+    nzl = nz // p
+    nxl = nx // p
+    # chop my z-slab into p x-blocks, one per destination
+    send = np.ascontiguousarray(
+        local.reshape(p, nxl, ny, nzl)).view(np.float64)
+    recv = np.zeros_like(send)
+    yield from mpi.Alltoall(send.reshape(-1), recv.reshape(-1))
+    blocks = recv.view(np.complex128).reshape(p, nxl, ny, nzl)
+    # block r holds my x-slab's z-range from rank r
+    out = np.concatenate([blocks[r] for r in range(p)], axis=2)
+    return out
+
+
+def _transpose_x_to_z(mpi, local: np.ndarray, nx, ny, nz
+                      ) -> Generator[None, None, np.ndarray]:
+    """Inverse of :func:`_transpose_z_to_x`."""
+    p = mpi.size
+    nzl = nz // p
+    nxl = nx // p
+    send = np.ascontiguousarray(
+        np.stack(np.split(local, p, axis=2))).view(np.float64)
+    recv = np.zeros_like(send)
+    yield from mpi.Alltoall(send.reshape(-1), recv.reshape(-1))
+    blocks = recv.view(np.complex128).reshape(p, nxl, ny, nzl)
+    out = np.concatenate([blocks[r] for r in range(p)], axis=0)
+    return out
+
+
+def _fft3d(mpi, local, nx, ny, nz, inverse=False):
+    """Distributed 3D FFT of a z-slab-partitioned array."""
+    fft2 = np.fft.ifft2 if inverse else np.fft.fft2
+    fft1 = np.fft.ifft if inverse else np.fft.fft
+    work = fft2(local, axes=(0, 1))
+    work = yield from _transpose_z_to_x(mpi, work, nx, ny, nz)
+    work = fft1(work, axis=2)
+    work = yield from _transpose_x_to_z(mpi, work, nx, ny, nz)
+    return work
+
+
+def ft_kernel(mpi, klass: str = "S", seed: int = 141421
+              ) -> Generator[None, None, NasResult]:
+    nx, ny, nz, steps = FT_CLASSES[klass]
+    p = mpi.size
+    if nz % p or nx % p:
+        raise ValueError(f"FT needs p to divide nx and nz (p={p})")
+    nzl = nz // p
+    rng = nas_rng(seed)
+    full = rng.standard_normal((nx, ny, nz)) \
+        + 1j * rng.standard_normal((nx, ny, nz))
+    local = full[:, :, mpi.rank * nzl:(mpi.rank + 1) * nzl].copy()
+
+    t0 = mpi.wtime()
+    freq = yield from _fft3d(mpi, local, nx, ny, nz)
+    checksums = []
+    kz = np.fft.fftfreq(nz) * nz
+    kz_local = kz[mpi.rank * nzl:(mpi.rank + 1) * nzl]
+    kx = np.fft.fftfreq(nx) * nx
+    ky = np.fft.fftfreq(ny) * ny
+    k2_local = (kx[:, None, None] ** 2 + ky[None, :, None] ** 2
+                + kz_local[None, None, :] ** 2)
+    for step in range(1, steps + 1):
+        evolved = freq * np.exp(-4.0 * _ALPHA * (np.pi ** 2)
+                                * k2_local * step)
+        back = yield from _fft3d(mpi, evolved, nx, ny, nz, inverse=True)
+        # NAS-style checksum: sum of a stride of elements
+        local_sum = complex(back.sum())
+        total = yield from mpi.allreduce(
+            (local_sum.real, local_sum.imag), op=_CPLX_SUM)
+        checksums.append(complex(total[0], total[1]))
+    elapsed = mpi.wtime() - t0
+
+    ref = ft_serial_reference(klass, seed)
+    verified = all(
+        abs(c - r) <= 1e-6 * max(abs(r), 1.0)
+        for c, r in zip(checksums, ref))
+    return NasResult("ft", verified,
+                     abs(checksums[-1]), elapsed, iterations=steps)
+
+
+def ft_serial_reference(klass: str = "S", seed: int = 141421):
+    nx, ny, nz, steps = FT_CLASSES[klass]
+    rng = nas_rng(seed)
+    full = rng.standard_normal((nx, ny, nz)) \
+        + 1j * rng.standard_normal((nx, ny, nz))
+    freq = np.fft.fftn(full)
+    out = []
+    for step in range(1, steps + 1):
+        evolved = freq * _exp_factors(nx, ny, nz, step)
+        back = np.fft.ifftn(evolved)
+        out.append(complex(back.sum()))
+    return out
+
+
+from ..mpi.datatypes import Op  # noqa: E402
+
+_CPLX_SUM = Op("csum", None,
+               lambda a, b: (a[0] + b[0], a[1] + b[1]))

@@ -1,0 +1,117 @@
+"""IS — Integer Sort.
+
+Bucket sort of uniformly distributed integer keys: local histogram,
+allreduce to size the buckets, then an all-to-all key exchange and a
+local counting sort.  IS is bandwidth-bound on the alltoall, which is
+where the channel designs differ.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+import numpy as np
+
+from ..mpi.datatypes import SUM
+from .common import NasResult, block_range, nas_rng
+
+__all__ = ["is_kernel", "IS_CLASSES"]
+
+#: (log2 total keys, log2 max key, iterations)
+IS_CLASSES = {
+    "T": (10, 11, 3),
+    "S": (14, 16, 5),
+    "W": (18, 19, 5),
+}
+
+
+def is_kernel(mpi, klass: str = "S", seed: int = 161803
+              ) -> Generator[None, None, NasResult]:
+    log_n, log_maxkey, iters = IS_CLASSES[klass]
+    n = 1 << log_n
+    max_key = 1 << log_maxkey
+    p = mpi.size
+    lo, hi = block_range(n, p, mpi.rank)
+    rng = nas_rng(seed + mpi.rank * 7919)
+    keys = rng.integers(0, max_key, size=hi - lo, dtype=np.int64)
+
+    t0 = mpi.wtime()
+    verified = True
+    sorted_keys = keys
+    for _it in range(iters):
+        # 1. global histogram over p coarse buckets
+        edges = np.linspace(0, max_key, p + 1).astype(np.int64)
+        bucket_of = np.minimum(
+            np.searchsorted(edges, keys, side="right") - 1, p - 1)
+        local_counts = np.bincount(bucket_of, minlength=p
+                                   ).astype(np.float64)
+        total_counts = np.zeros(p)
+        yield from mpi.Allreduce(local_counts, total_counts, op=SUM)
+
+        # 2. all-to-all key exchange (manual alltoallv: counts differ)
+        order = np.argsort(bucket_of, kind="stable")
+        keys_by_bucket = keys[order]
+        split_at = np.cumsum(np.bincount(bucket_of, minlength=p))[:-1]
+        outgoing: List[np.ndarray] = np.split(keys_by_bucket, split_at)
+
+        # exchange counts, then payloads
+        send_counts = np.array([len(o) for o in outgoing],
+                               dtype=np.float64)
+        recv_counts = np.zeros(p)
+        yield from mpi.Alltoall(send_counts, recv_counts)
+
+        received = [outgoing[mpi.rank]]
+        reqs = []
+        for step in range(1, p):
+            dst = (mpi.rank + step) % p
+            r = yield from mpi.Isend(
+                outgoing[dst].astype(np.int64), dest=dst, tag=40 + _it)
+            reqs.append(r)
+        for step in range(1, p):
+            src = (mpi.rank - step) % p
+            nrecv = int(recv_counts[src])
+            buf = mpi.alloc(max(nrecv * 8, 1), "is.recv")
+            st = yield from mpi.Recv(buf, source=src, tag=40 + _it)
+            got = np.frombuffer(buf.read()[:st.count], dtype=np.int64)
+            received.append(got.copy())
+        yield from mpi.Waitall(reqs)
+
+        # 3. local sort of my bucket
+        mine = np.concatenate(received)
+        sorted_keys = np.sort(mine, kind="stable")
+
+        # per-iteration check: every key landed in my bucket range
+        if mine.size and (mine.min() < edges[mpi.rank]
+                          or mine.max() > edges[mpi.rank + 1]):
+            verified = False
+
+    # full verification: boundaries between ranks are ordered and the
+    # global multiset is preserved (checksum)
+    local_edge = np.array([
+        float(sorted_keys[0]) if sorted_keys.size else np.inf,
+        float(sorted_keys[-1]) if sorted_keys.size else -np.inf,
+        float(sorted_keys.sum()),
+        float(sorted_keys.size),
+    ])
+    gathered = yield from mpi.allgather(local_edge.tolist())
+    if mpi.rank == 0:
+        prev_max = -np.inf
+        total_n = 0
+        for lo_v, hi_v, _s, cnt in gathered:
+            if cnt > 0:
+                if lo_v < prev_max:
+                    verified = False
+                prev_max = hi_v
+                total_n += int(cnt)
+        if total_n != n:
+            verified = False
+    verified_all = yield from mpi.allreduce(verified,
+                                            op=_AND_OP)
+    elapsed = mpi.wtime() - t0
+    return NasResult("is", bool(verified_all),
+                     float(sorted_keys.size), elapsed, iterations=iters)
+
+
+from ..mpi.datatypes import Op  # noqa: E402
+
+_AND_OP = Op("and", None, lambda a, b: bool(a) and bool(b))

@@ -1,0 +1,267 @@
+"""NAS class A/B performance skeletons (Fig. 16/17 substrate).
+
+Running real class A data (e.g. CG's 14000×14000 sparse system)
+through a pure-Python simulator would measure the host interpreter,
+not the modelled cluster.  Instead, each skeleton replays the
+benchmark's *communication pattern* with class-correct message sizes
+and counts through the full MPI/CH3/channel/IB stack, and advances the
+simulated clock by a modelled per-iteration compute time:
+
+    t_compute = flops_per_iteration / (per-rank flop rate)
+
+Total operation counts are the published NPB totals (Gop), so the
+reported figure is Mop/s on the same scale as the paper's Fig. 16/17.
+Only *relative* differences between channel designs are meaningful —
+which is exactly what the paper's application evaluation compares.
+
+A ``sim_fraction`` of the iterations is actually simulated and the
+measured time scaled up, keeping event counts tractable for the
+iteration-heavy benchmarks (LU/SP/BT); the patterns are steady-state,
+so this is loss-free for design comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ChannelConfig, HardwareConfig
+from ..mpi.runner import run_mpi
+
+__all__ = ["NAS_SKELETONS", "run_skeleton", "SkeletonSpec",
+           "CLASS_A_BENCHMARKS", "CLASS_B_BENCHMARKS"]
+
+#: per-rank sustained flop rate of the testbed's 2.4 GHz Xeon on NPB
+#: codes (~12% of peak — typical for this generation).
+FLOP_RATE = 280e6
+
+#: benchmarks plotted in Fig. 16 (class A, 4 nodes) — all eight
+CLASS_A_BENCHMARKS = ["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"]
+#: Fig. 17 (class B, 8 nodes) — SP and BT need a square rank count
+CLASS_B_BENCHMARKS = ["cg", "ep", "ft", "is", "lu", "mg"]
+
+
+@dataclass
+class SkeletonSpec:
+    name: str
+    #: published NPB total operation count, Gop, per class
+    gops: Dict[str, float]
+    #: iterations per class
+    iters: Dict[str, int]
+    #: grid/problem parameter per class (meaning is per-benchmark)
+    size: Dict[str, int]
+    #: fraction of iterations to actually simulate (rest scaled)
+    sim_fraction: float
+    #: builds the per-iteration communication program:
+    #: f(mpi, klass, state) -> generator
+    comm_iter: Callable
+    #: one-time setup returning reusable buffers/state
+    setup: Callable
+    #: optional override of per-iteration compute seconds f(klass, p);
+    #: used for memory-bound kernels whose published op counts
+    #: undercount the actual work (IS counts only key-ranking ops)
+    compute_time: Optional[Callable] = None
+
+
+def _alloc(mpi, nbytes: int):
+    return mpi.alloc(max(int(nbytes), 8), "nas.skel")
+
+
+# ---------------------------------------------------------------------
+# per-benchmark communication programs
+# ---------------------------------------------------------------------
+
+def _cg_setup(mpi, klass, n):
+    ex = _alloc(mpi, n * 8 // mpi.size)
+    red = np.zeros(1)
+    return {"exchange": ex, "red": red}
+
+def _cg_iter(mpi, klass, st):
+    # one outer iteration = 25 CG inner iterations
+    partner = mpi.rank ^ 1 if mpi.size > 1 else mpi.rank
+    for _inner in range(25):
+        out = np.zeros(1)
+        yield from mpi.Allreduce(st["red"], out)     # alpha
+        if partner != mpi.rank:
+            yield from mpi.Sendrecv(st["exchange"], partner,
+                                    st["exchange"], partner)
+        out = np.zeros(1)
+        yield from mpi.Allreduce(st["red"], out)     # rho
+    return None
+
+
+def _mg_setup(mpi, klass, n):
+    planes = []
+    lvl_n = n
+    while lvl_n >= 4 and (lvl_n // mpi.size) >= 1:
+        planes.append(_alloc(mpi, lvl_n * lvl_n * 8))
+        lvl_n //= 2
+    return {"planes": planes}
+
+def _mg_iter(mpi, klass, st):
+    left = (mpi.rank - 1) % mpi.size
+    right = (mpi.rank + 1) % mpi.size
+    # one V-cycle: ~4 halo exchanges per level down and up
+    for plane in st["planes"] + st["planes"][::-1]:
+        for _ in range(2):
+            yield from mpi.Sendrecv(plane, right, plane, left)
+    return None
+
+
+def _ft_setup(mpi, klass, n):
+    # total complex elements / p / p per pairwise segment, 16 B each
+    nz = {"A": (256, 256, 128), "B": (512, 256, 256)}[klass]
+    total = nz[0] * nz[1] * nz[2] * 16
+    seg = total // (mpi.size * mpi.size)
+    return {"send": _alloc(mpi, seg * mpi.size),
+            "recv": _alloc(mpi, seg * mpi.size)}
+
+def _ft_iter(mpi, klass, st):
+    yield from mpi.Alltoall(st["send"], st["recv"])
+    # evolution checksum
+    out = np.zeros(2)
+    yield from mpi.Allreduce(np.zeros(2), out)
+    return None
+
+
+def _is_setup(mpi, klass, n):
+    total_keys = {"A": 1 << 23, "B": 1 << 25}[klass]
+    seg = total_keys * 4 // (mpi.size * mpi.size)
+    return {"counts": np.zeros(max(mpi.size, 1)),
+            "send": _alloc(mpi, seg * mpi.size),
+            "recv": _alloc(mpi, seg * mpi.size)}
+
+def _is_iter(mpi, klass, st):
+    out = np.zeros(st["counts"].size)
+    yield from mpi.Allreduce(st["counts"], out)
+    yield from mpi.Alltoall(st["send"], st["recv"])
+    return None
+
+
+def _ep_setup(mpi, klass, n):
+    return {}
+
+def _ep_iter(mpi, klass, st):
+    out = np.zeros(12)
+    yield from mpi.Allreduce(np.zeros(12), out)
+    return None
+
+
+def _lu_setup(mpi, klass, n):
+    from .common import factor_2d
+    prow, pcol = factor_2d(mpi.size)
+    strip = (n // max(prow, pcol)) * 5 * 8
+    return {"strip": _alloc(mpi, strip), "n": n,
+            "prow": prow, "pcol": pcol}
+
+def _lu_iter(mpi, klass, st):
+    """Two wavefront sweeps: per k-plane, receive from the two
+    predecessors, send to the two successors."""
+    prow, pcol = st["prow"], st["pcol"]
+    my_r, my_c = divmod(mpi.rank, pcol)
+    n = st["n"]
+    strip = st["strip"]
+    for direction in (0, 1):   # forward, backward
+        if direction == 0:
+            preds = [mpi.rank - pcol if my_r > 0 else -1,
+                     mpi.rank - 1 if my_c > 0 else -1]
+            succs = [mpi.rank + pcol if my_r < prow - 1 else -1,
+                     mpi.rank + 1 if my_c < pcol - 1 else -1]
+        else:
+            preds = [mpi.rank + pcol if my_r < prow - 1 else -1,
+                     mpi.rank + 1 if my_c < pcol - 1 else -1]
+            succs = [mpi.rank - pcol if my_r > 0 else -1,
+                     mpi.rank - 1 if my_c > 0 else -1]
+        for _k in range(n):
+            for src in preds:
+                if src >= 0:
+                    yield from mpi.Recv(strip, source=src, tag=90)
+            for dst in succs:
+                if dst >= 0:
+                    yield from mpi.Send(strip, dest=dst, tag=90)
+    return None
+
+
+def _adi_setup(mpi, klass, n):
+    face = n * n * 5 * 8 // mpi.size
+    return {"send": _alloc(mpi, face * mpi.size),
+            "recv": _alloc(mpi, face * mpi.size)}
+
+def _adi_iter(mpi, klass, st):
+    # three directions; the distributed one costs two transposes
+    for _ in range(2):
+        yield from mpi.Alltoall(st["send"], st["recv"])
+    return None
+
+
+# ---------------------------------------------------------------------
+# registry (published NPB total op counts, Gop)
+# ---------------------------------------------------------------------
+
+NAS_SKELETONS: Dict[str, SkeletonSpec] = {
+    "cg": SkeletonSpec("cg", {"A": 1.508, "B": 54.89},
+                       {"A": 15, "B": 75}, {"A": 14000, "B": 75000},
+                       0.25, _cg_iter, _cg_setup),
+    "mg": SkeletonSpec("mg", {"A": 3.905, "B": 18.81},
+                       {"A": 4, "B": 20}, {"A": 256, "B": 256},
+                       0.5, _mg_iter, _mg_setup),
+    "ft": SkeletonSpec("ft", {"A": 7.14, "B": 92.2},
+                       {"A": 6, "B": 20}, {"A": 256, "B": 512},
+                       0.35, _ft_iter, _ft_setup),
+    "is": SkeletonSpec("is", {"A": 0.0784, "B": 0.3303},
+                       {"A": 10, "B": 10}, {"A": 23, "B": 25},
+                       1.0, _is_iter, _is_setup,
+                       # memory-bound ranking: ~25 ns per local key
+                       compute_time=lambda klass, p:
+                       (1 << {"A": 23, "B": 25}[klass]) / p * 25e-9),
+    "ep": SkeletonSpec("ep", {"A": 26.68, "B": 106.7},
+                       {"A": 1, "B": 1}, {"A": 28, "B": 30},
+                       1.0, _ep_iter, _ep_setup),
+    "lu": SkeletonSpec("lu", {"A": 119.28, "B": 549.54},
+                       {"A": 250, "B": 250}, {"A": 64, "B": 102},
+                       0.03, _lu_iter, _lu_setup),
+    "sp": SkeletonSpec("sp", {"A": 102.0, "B": 447.1},
+                       {"A": 400, "B": 400}, {"A": 64, "B": 102},
+                       0.05, _adi_iter, _adi_setup),
+    "bt": SkeletonSpec("bt", {"A": 168.3, "B": 721.5},
+                       {"A": 200, "B": 200}, {"A": 64, "B": 102},
+                       0.05, _adi_iter, _adi_setup),
+}
+
+
+def _skeleton_prog(mpi, spec: SkeletonSpec, klass: str):
+    n = spec.size[klass]
+    iters = spec.iters[klass]
+    sim_iters = max(2, int(math.ceil(iters * spec.sim_fraction)))
+    sim_iters = min(sim_iters, iters)
+    if spec.compute_time is not None:
+        t_comp = spec.compute_time(klass, mpi.size)
+    else:
+        t_comp = (spec.gops[klass] * 1e9 / iters) / (FLOP_RATE
+                                                     * mpi.size)
+    state = spec.setup(mpi, klass, n)
+    yield from mpi.Barrier()
+    t0 = mpi.wtime()
+    for _i in range(sim_iters):
+        yield from mpi.compute(t_comp)
+        yield from spec.comm_iter(mpi, klass, state)
+    yield from mpi.Barrier()
+    elapsed = (mpi.wtime() - t0) * (iters / sim_iters)
+    return elapsed
+
+
+def run_skeleton(benchmark: str, klass: str, nprocs: int,
+                 design: str = "zerocopy",
+                 cfg: Optional[HardwareConfig] = None,
+                 ch_cfg: Optional[ChannelConfig] = None
+                 ) -> Tuple[float, float]:
+    """Run one benchmark skeleton; returns (seconds, Mop/s)."""
+    spec = NAS_SKELETONS[benchmark]
+    results, _ = run_mpi(nprocs, _skeleton_prog, design=design, cfg=cfg,
+                         ch_cfg=ch_cfg, args=(spec, klass))
+    elapsed = max(results)
+    mops = spec.gops[klass] * 1e3 / elapsed
+    return elapsed, mops

@@ -1,0 +1,23 @@
+"""SP — Scalar Pentadiagonal solver (thin wrapper over the shared ADI
+machinery; see :mod:`repro.nas.adi`)."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .adi import ADI_CLASSES, adi_kernel, adi_serial_reference
+from .common import NasResult
+
+__all__ = ["sp_kernel", "sp_serial_reference", "SP_CLASSES"]
+
+SP_CLASSES = ADI_CLASSES
+
+
+def sp_kernel(mpi, klass: str = "S", seed: int = 662607
+              ) -> Generator[None, None, NasResult]:
+    result = yield from adi_kernel(mpi, "sp", klass, seed)
+    return result
+
+
+def sp_serial_reference(klass: str = "S", seed: int = 662607) -> float:
+    return adi_serial_reference("sp", klass, seed)

@@ -1,0 +1,5 @@
+"""Kernel networking models (the non-RDMA comparison path)."""
+
+from .ipoib import TcpConnection, TcpParams, TcpStack
+
+__all__ = ["TcpStack", "TcpConnection", "TcpParams"]

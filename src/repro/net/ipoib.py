@@ -1,0 +1,194 @@
+"""A kernel TCP stack over IP-over-InfiniBand.
+
+The paper's Fig. 1 lists a TCP-socket channel alongside the RDMA
+designs; the gap between kernel TCP and user-level RDMA is the
+motivation for the whole line of work.  This module models the
+era-accurate kernel data path over the same simulated fabric:
+
+* **send**: syscall entry, copy user → socket buffer (bus-charged),
+  MSS segmentation, per-segment IP/TCP header processing, NIC DMA over
+  the wire;
+* **receive**: per-segment interrupt (mitigated by coalescing when
+  back-to-back segments arrive), kernel protocol processing, and a
+  second copy socket buffer → user at ``recv`` time;
+* **flow control**: a fixed receive-window socket buffer; the sender
+  blocks when it fills and resumes as the receiver drains it (ACKs
+  carry a wire latency).
+
+The fabric is lossless, so no retransmission/congestion machinery is
+modelled — the relevant costs are the two copies, the syscalls and the
+interrupts, which is exactly what RDMA eliminates.
+
+Typical resulting numbers (cf. the paper-era MPICH2/TCP on IPoIB):
+~45 µs small-message latency, ~180–250 MB/s peak bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, Optional, Tuple
+
+from ..config import US, HardwareConfig
+from ..sim.engine import Simulator
+from ..sim.sync import Gate, Resource
+
+__all__ = ["TcpParams", "TcpStack", "TcpConnection"]
+
+
+class TcpParams:
+    """Kernel-stack cost constants (era-accurate defaults for a 2.4.x
+    Linux kernel on the testbed's Xeons)."""
+
+    #: syscall entry/exit (send or recv)
+    syscall_cpu = 1.6 * US
+    #: per-segment TCP/IP header build/verify
+    segment_cpu = 0.9 * US
+    #: interrupt + softirq entry on the first segment of a burst
+    interrupt_latency = 14.0 * US
+    #: segments arriving within this window ride the same interrupt
+    coalesce_window = 30.0 * US
+    #: MSS over IPoIB (2044-byte IB MTU minus IP/TCP headers)
+    mss = 1992
+    #: socket buffer / receive window per direction
+    sock_buf = 64 * 1024
+    #: IPoIB throughput cap: the kernel path cannot keep the 4X link
+    #: busy (per-byte checksum + segment handling); expressed as a
+    #: per-byte CPU cost on the receiver's protocol processing.
+    per_byte_cpu = 1.0 / (320e6)  # ~320 MB/s protocol ceiling
+
+
+class TcpStack:
+    """Per-node kernel stack: owns the node's CPU/bus charging."""
+
+    def __init__(self, sim: Simulator, node, cfg: HardwareConfig,
+                 params: Optional[TcpParams] = None):
+        self.sim = sim
+        self.node = node
+        self.cfg = cfg
+        self.p = params or TcpParams()
+        #: last time an rx interrupt fired (for coalescing)
+        self._last_irq = -1.0
+        #: the softirq context is serial per CPU: inbound protocol
+        #: processing of concurrent segments queues here (this is the
+        #: kernel path's throughput ceiling)
+        self.rx_softirq = Resource(sim, capacity=1)
+
+    def rx_interrupt_cost(self) -> float:
+        """Interrupt latency unless coalesced with a recent one."""
+        now = self.sim.now
+        if now - self._last_irq <= self.p.coalesce_window:
+            return 0.0
+        self._last_irq = now
+        return self.p.interrupt_latency
+
+
+class TcpConnection:
+    """One direction pair of a TCP connection between two nodes.
+
+    ``send(nbytes)``/``recv(max)`` move modelled bytes; the payload
+    content is carried out-of-band by the channel layer (the kernel
+    path's costs don't depend on values)."""
+
+    def __init__(self, a_stack: TcpStack, b_stack: TcpStack):
+        self.ends = {0: a_stack, 1: b_stack}
+        sim = a_stack.sim
+        #: per-direction state: bytes queued at receiver, in-flight
+        self._rxq = {0: deque(), 1: deque()}   # (nbytes, arrival_time)
+        self._rx_bytes = {0: 0, 1: 0}
+        self._inflight = {0: 0, 1: 0}
+        self._gates = {0: Gate(sim), 1: Gate(sim)}
+        self._credit_gates = {0: Gate(sim), 1: Gate(sim)}
+
+    def _fabric_route(self, src_stack: TcpStack, dst_stack: TcpStack):
+        src = src_stack.node
+        dst = dst_stack.node
+        cluster = src.cluster
+        route = [(src.membus.bus, 1.0)]
+        route += cluster.fabric.path(src.node_id, dst.node_id)
+        route += [(dst.membus.bus, 1.0)]
+        return route, cluster.fabric.latency(src.node_id, dst.node_id), \
+            cluster.net
+
+    def window_free(self, direction: int) -> int:
+        p = self.ends[0].p
+        used = self._rx_bytes[direction] + self._inflight[direction]
+        return max(0, p.sock_buf - used)
+
+    def send(self, direction: int, nbytes: int) -> Generator:
+        """Kernel send path for ``nbytes`` (the caller limits it to
+        ``window_free``).  Returns when the bytes are handed to the
+        NIC (socket semantics: the send syscall returns after the
+        copy into the socket buffer)."""
+        src = self.ends[direction]
+        dst = self.ends[1 - direction]
+        p = src.p
+        sim = src.sim
+        # syscall + copy user -> socket buffer (2 bus-bytes per byte;
+        # charged as a raw bus transfer — no scratch storage needed)
+        yield from src.node.cpus[0].work(p.syscall_cpu)
+        route0 = [(src.node.membus.bus, 2.0)]
+        yield src.node.cluster.net.transfer(
+            nbytes, route0, label=f"tcp.txcopy[{src.node.node_id}]")
+        self._inflight[direction] += nbytes
+        # segmentation + wire, asynchronously (NIC + softirq context)
+        sim.spawn(self._transmit(direction, nbytes),
+                  name="tcp.transmit", daemon=False)
+        return nbytes
+
+    def _transmit(self, direction: int, nbytes: int) -> Generator:
+        src = self.ends[direction]
+        dst = self.ends[1 - direction]
+        p = src.p
+        sim = src.sim
+        nseg = max(1, -(-nbytes // p.mss))
+        yield from src.node.cpus[0].work(p.segment_cpu * nseg)
+        route, latency, net = self._fabric_route(src, dst)
+        yield net.transfer(nbytes, route,
+                           label=f"tcp[{src.node.node_id}->"
+                                 f"{dst.node.node_id}]")
+        yield sim.timeout(latency)
+        # receiver side: interrupt + serialized softirq protocol
+        # processing (the kernel path's ceiling)
+        yield dst.rx_softirq.acquire()
+        try:
+            irq = dst.rx_interrupt_cost()
+            if irq:
+                yield sim.timeout(irq)
+            yield from dst.node.cpus[-1].work(
+                p.segment_cpu * nseg + p.per_byte_cpu * nbytes)
+        finally:
+            dst.rx_softirq.release()
+        self._inflight[direction] -= nbytes
+        self._rxq[direction].append(nbytes)
+        self._rx_bytes[direction] += nbytes
+        self._gates[direction].open()
+        return None
+
+    def available(self, direction: int) -> int:
+        return self._rx_bytes[direction]
+
+    def recv(self, direction: int, max_bytes: int) -> Generator:
+        """Kernel receive path: syscall + copy socket buffer -> user.
+        Returns bytes consumed (0 if none are queued)."""
+        dst = self.ends[1 - direction]
+        p = dst.p
+        n = min(self._rx_bytes[direction], max_bytes)
+        if n <= 0:
+            return 0
+        yield from dst.node.cpus[-1].work(p.syscall_cpu)
+        route = [(dst.node.membus.bus, 2.0)]
+        yield dst.node.cluster.net.transfer(
+            n, route, label=f"tcp.rxcopy[{dst.node.node_id}]")
+        self._rx_bytes[direction] -= n
+        # window update (ACK) reaches the sender after a wire delay
+        src = self.ends[direction]
+        _route, latency, _net = self._fabric_route(dst, src)
+        dst.sim.call_in(latency + 2e-6,
+                        self._credit_gates[direction].open)
+        return n
+
+    def wait_rx(self, direction: int):
+        return self._gates[direction].wait()
+
+    def wait_credit(self, direction: int):
+        return self._credit_gates[direction].wait()

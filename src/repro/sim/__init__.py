@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+:mod:`repro.sim.engine`
+    Event heap, generator processes, timeouts, conditions.
+:mod:`repro.sim.sync`
+    Stores (mailboxes), resources (semaphores), gates (broadcasts).
+:mod:`repro.sim.fluid`
+    Max-min fair fluid-flow bandwidth model for links and memory buses.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    DeadlockError,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .fluid import Flow, FluidNetwork, FluidResource
+from .sync import Gate, Resource, Store
+
+__all__ = [
+    "Simulator", "Event", "Timeout", "Process", "AnyOf", "AllOf",
+    "Interrupt", "SimulationError", "DeadlockError",
+    "Store", "Resource", "Gate",
+    "FluidResource", "FluidNetwork", "Flow",
+]

@@ -1,0 +1,418 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic event-heap scheduler with generator-based
+processes (in the style of SimPy, re-implemented here because no
+third-party DES library is available offline).
+
+Time is a ``float`` in **seconds**.  All hardware constants in
+:mod:`repro.config` are expressed in seconds as well (microsecond-scale
+values such as ``5.9e-6``).
+
+A *process* is a Python generator that yields :class:`Event` objects
+(or things convertible to them, see :meth:`Simulator.spawn`).  When the
+yielded event fires, the generator is resumed with the event's value;
+if the event failed, the exception is thrown into the generator.
+Sub-routines compose with plain ``yield from``.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def prog():
+...     yield sim.timeout(1.0)
+...     return sim.now
+>>> p = sim.spawn(prog())
+>>> sim.run()
+>>> p.value
+1.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "DeadlockError",
+]
+
+
+class SimulationError(Exception):
+    """Base class for simulation-engine errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised by :meth:`Simulator.run` when processes remain but no
+    events are scheduled (every live process is blocked forever)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event.
+
+    An event starts *pending*; it can be made to succeed (carrying a
+    value) or fail (carrying an exception) exactly once.  Callbacks
+    registered before the trigger run when it fires; callbacks added
+    afterwards run immediately (on the same simulated timestamp).
+    """
+
+    __slots__ = ("sim", "_callbacks", "_ok", "_value", "triggered")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._ok: bool = True
+        self._value: Any = None
+        self.triggered: bool = False
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event has not been triggered yet")
+        if not self._ok:
+            raise self._value
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self.triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            self.sim._schedule_call(cb, self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Run ``cb(event)`` when the event fires (immediately if it
+        already has)."""
+        if self._callbacks is None:
+            self.sim._schedule_call(cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        sim._schedule_at(sim.now + delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator
+    returns (value = the generator's return value) or raises."""
+
+    __slots__ = ("gen", "name", "_waiting_on", "daemon")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "",
+                 daemon: bool = False):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"Process needs a generator, got {gen!r}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        #: daemon processes (hardware service loops) do not count as
+        #: live work for deadlock detection.
+        self.daemon = daemon
+        if not daemon:
+            sim._live_processes += 1
+        sim._schedule_call(self._resume, _InitialEvent(sim))
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current
+        simulation time (no-op if it already finished)."""
+        if self.triggered:
+            return
+        self.sim._schedule_call(self._throw, Interrupt(cause))
+
+    # -- internals -----------------------------------------------------
+    def _resume(self, event: "Event") -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self.gen.send(event._value)
+            else:
+                target = self.gen.throw(event._value)
+        except StopIteration as stop:
+            self._finish(True, stop.value)
+            return
+        except BaseException as exc:
+            self._finish(False, exc)
+            return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        try:
+            target = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(True, stop.value)
+            return
+        except BaseException as err:
+            self._finish(False, err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        event = self.sim._as_event(target)
+        self._waiting_on = event
+        event.add_callback(self._resume)
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        if not self.daemon:
+            self.sim._live_processes -= 1
+        if ok:
+            self.succeed(value)
+        else:
+            if self._callbacks is not None and not self._callbacks:
+                # Nobody is watching this process: surface the error
+                # instead of losing it.
+                self.sim._crashed.append((self, value))
+            self.fail(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class _InitialEvent(Event):
+    """Pre-triggered event used to kick off a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator"):
+        super().__init__(sim)
+        self.triggered = True
+        self._callbacks = None
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composition events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = 0
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise TypeError(f"expected Event, got {ev!r}")
+        for ev in self.events:
+            self._pending += 1
+            ev.add_callback(self._check)
+        if not self.events:
+            self.succeed([])
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of ``events`` fires; value is that event."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(event)
+
+
+class AllOf(_Condition):
+    """Fires when all of ``events`` have fired; value is the list of
+    their values (in construction order)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self.events])
+
+
+class _Handle:
+    """Cancellable handle for a raw scheduled callback."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """The event loop.
+
+    Use :meth:`spawn` to start processes, :meth:`timeout` /
+    :meth:`event` to create awaitables, and :meth:`run` to execute.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = itertools.count()
+        self._live_processes = 0
+        self._crashed: List = []
+
+    # -- scheduling primitives ------------------------------------------
+    def _schedule_at(self, when: float, fn: Callable, *args: Any) -> _Handle:
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past ({when} < {self.now})"
+            )
+        handle = _Handle()
+        heapq.heappush(self._heap, (when, next(self._seq), handle, fn, args))
+        return handle
+
+    def _schedule_call(self, fn: Callable, *args: Any) -> _Handle:
+        """Schedule ``fn`` to run at the current time (after the
+        currently-running callback finishes)."""
+        return self._schedule_at(self.now, fn, *args)
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> _Handle:
+        """Public: run ``fn(*args)`` at absolute time ``when``."""
+        return self._schedule_at(when, fn, *args)
+
+    def call_in(self, delay: float, fn: Callable, *args: Any) -> _Handle:
+        """Public: run ``fn(*args)`` after ``delay`` seconds."""
+        return self._schedule_at(self.now + delay, fn, *args)
+
+    # -- awaitable factories ---------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: Generator, name: str = "",
+              daemon: bool = False) -> Process:
+        """Start a new process from a generator.  ``daemon`` marks
+        endless service loops that should not hold the simulation
+        alive for deadlock-detection purposes."""
+        return Process(self, gen, name, daemon)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def _as_event(self, target: Any) -> Event:
+        if isinstance(target, Event):
+            if target.sim is not self:
+                raise SimulationError("event belongs to a different Simulator")
+            return target
+        if hasattr(target, "send"):  # a bare generator: run as subprocess
+            return self.spawn(target)
+        raise TypeError(
+            f"process yielded {target!r}; expected an Event or generator"
+        )
+
+    # -- execution -------------------------------------------------------
+    def step(self) -> None:
+        """Execute the next scheduled callback."""
+        when, _seq, handle, fn, args = heapq.heappop(self._heap)
+        if handle.cancelled:
+            return
+        self.now = when
+        fn(*args)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or ``until`` is reached.
+
+        Raises :class:`DeadlockError` if live processes remain with an
+        empty heap, and re-raises the failure of any process that
+        crashed unobserved.  Returns the final simulation time.
+        """
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            self.step()
+            if self._crashed:
+                proc, exc = self._crashed[0]
+                raise SimulationError(
+                    f"process {proc.name!r} crashed"
+                ) from exc
+        if not self._heap and self._live_processes > 0 and until is None:
+            raise DeadlockError(
+                f"{self._live_processes} process(es) blocked forever "
+                f"at t={self.now}"
+            )
+        return self.now
+
+    def peek(self) -> float:
+        """Time of the next scheduled callback (``inf`` if none)."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else float("inf")

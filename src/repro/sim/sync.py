@@ -1,0 +1,158 @@
+"""Synchronization primitives on top of the event engine.
+
+These are the building blocks the hardware and protocol layers use:
+FIFO stores (mailboxes), counting resources (servers), and gates
+(broadcast conditions).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .engine import Event, Simulator
+
+__all__ = ["Store", "Resource", "Gate"]
+
+
+class Store:
+    """Unbounded (or bounded) FIFO mailbox.
+
+    ``put(item)`` returns an event that fires once the item is stored
+    (immediately unless the store is full); ``get()`` returns an event
+    that fires with the next item in FIFO order.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        ev = self.sim.event()
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            return True
+        return False
+
+    def get(self) -> Event:
+        ev = self.sim.event()
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple:
+        """Non-blocking get; returns (True, item) or (False, None)."""
+        if self.items:
+            item = self.items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self.items) < self.capacity
+        ):
+            ev, item = self._putters.popleft()
+            self.items.append(item)
+            ev.succeed()
+
+
+class Resource:
+    """Counting resource (semaphore) with FIFO queueing.
+
+    Typical use::
+
+        yield res.acquire()
+        try:
+            ...
+        finally:
+            res.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        ev = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError("release() without matching acquire()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+    def using(self, gen: Generator) -> Generator:
+        """Run a sub-generator while holding the resource."""
+        yield self.acquire()
+        try:
+            result = yield from gen
+        finally:
+            self.release()
+        return result
+
+
+class Gate:
+    """A broadcast condition: processes wait(); open() wakes them all.
+
+    Unlike :class:`~repro.sim.engine.Event`, a Gate is reusable — each
+    ``wait()`` creates a fresh one-shot event tied to the *next*
+    ``open()``.  Used for "something changed, re-poll" notifications
+    (e.g. the MPI progress engine).
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._waiters: Deque[Event] = deque()
+
+    def wait(self) -> Event:
+        ev = self.sim.event()
+        self._waiters.append(ev)
+        return ev
+
+    def open(self, value: Any = None) -> int:
+        """Wake every current waiter; returns how many were woken."""
+        n = len(self._waiters)
+        while self._waiters:
+            self._waiters.popleft().succeed(value)
+        return n

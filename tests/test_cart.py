@@ -1,0 +1,119 @@
+"""Cartesian topologies: dims_create, coordinates, shifts, sub-grids,
+and a 2D stencil exchange over the topology API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MpiError, run_mpi
+from repro.mpi.cart import CartComm, dims_create
+
+
+class TestDimsCreate:
+    def test_balanced_square(self):
+        assert sorted(dims_create(16, 2)) == [4, 4]
+        assert sorted(dims_create(12, 2)) == [3, 4]
+
+    def test_three_dims(self):
+        d = dims_create(24, 3)
+        assert np.prod(d) == 24
+        assert max(d) <= 4  # 2x3x4 or similar, not 1x1x24
+
+    def test_fixed_dimension_respected(self):
+        d = dims_create(12, 2, [3, 0])
+        assert d == [3, 4]
+
+    def test_impossible_fixed(self):
+        with pytest.raises(MpiError):
+            dims_create(12, 2, [5, 0])
+
+    @given(n=st.integers(1, 64), ndims=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_product_invariant(self, n, ndims):
+        d = dims_create(n, ndims)
+        assert int(np.prod(d)) == n
+        assert all(x >= 1 for x in d)
+
+
+class TestCoordinates:
+    def test_roundtrip_and_shift(self):
+        def prog(mpi):
+            cart = yield from CartComm.create(mpi.COMM_WORLD, [2, 2],
+                                              periods=[True, False])
+            me = cart.coords()
+            assert cart.cart_rank(me) == cart.rank
+            src_r, dst_r = cart.shift(0, 1)       # periodic rows
+            src_c, dst_c = cart.shift(1, 1)       # open columns
+            return (me, src_r, dst_r, src_c, dst_c)
+
+        results, _ = run_mpi(4, prog, design="zerocopy")
+        me0, src_r, dst_r, src_c, dst_c = results[0]
+        assert me0 == [0, 0]
+        assert (src_r, dst_r) == (2, 2)           # wraps in dim 0
+        assert src_c is None and dst_c == 1       # open edge in dim 1
+
+    def test_extra_ranks_get_none(self):
+        def prog(mpi):
+            cart = yield from CartComm.create(mpi.COMM_WORLD, [2, 2])
+            return cart is None
+
+        results, _ = run_mpi(5, prog, design="zerocopy")
+        assert results == [False, False, False, False, True]
+
+    def test_nonperiodic_out_of_range(self):
+        def prog(mpi):
+            cart = yield from CartComm.create(mpi.COMM_WORLD, [2, 2])
+            try:
+                cart.cart_rank([2, 0])
+            except MpiError:
+                return "caught"
+
+        results, _ = run_mpi(4, prog, design="zerocopy")
+        assert results[0] == "caught"
+
+
+class TestCartSub:
+    def test_row_subgrids(self):
+        def prog(mpi):
+            cart = yield from CartComm.create(mpi.COMM_WORLD, [2, 2])
+            row = yield from cart.sub([False, True])  # keep columns
+            total = yield from row.comm.allreduce(mpi.rank)
+            return (row.dims, row.rank, total)
+
+        results, _ = run_mpi(4, prog, design="zerocopy")
+        # world ranks (row-major [2,2]): row 0 = {0, 1}, row 1 = {2, 3}
+        assert results[0] == ([2], 0, 1)
+        assert results[3] == ([2], 1, 5)
+
+
+class TestStencilOverTopology:
+    def test_2d_periodic_exchange(self):
+        """Each rank sends its rank id to its four neighbours through
+        cart.shift addressing; sums must match the grid structure."""
+        def prog(mpi):
+            cart = yield from CartComm.create(
+                mpi.COMM_WORLD, [2, 2], periods=[True, True])
+            comm = cart.comm
+            total = 0
+            for direction in (0, 1):
+                src, dst = cart.shift(direction, 1)
+                sbuf = np.array([float(comm.rank)])
+                rbuf = np.zeros(1)
+                yield from comm.Sendrecv(sbuf, dst, rbuf, src)
+                total += rbuf[0]
+                # and the reverse direction
+                src2, dst2 = cart.shift(direction, -1)
+                yield from comm.Sendrecv(sbuf, dst2, rbuf, src2)
+                total += rbuf[0]
+            return total
+
+        results, _ = run_mpi(4, prog, design="zerocopy")
+        # on a periodic 2x2 torus each rank hears from its row peer
+        # twice and column peer twice
+        coords = {0: (0, 0), 1: (0, 1), 2: (1, 0), 3: (1, 1)}
+        for r, total in enumerate(results):
+            i, j = coords[r]
+            row_peer = i * 2 + (1 - j)
+            col_peer = (1 - i) * 2 + j
+            assert total == 2 * row_peer + 2 * col_peer

@@ -1,0 +1,66 @@
+"""Calibration of the raw InfiniBand layer against the paper's §4.2.1
+numbers: 5.9 µs latency, 870 MB/s peak bandwidth, and the Fig. 15
+read/write relationship.
+
+Tolerances are deliberately loose (±10–15%): the goal is the *shape*,
+not digit-matching.
+"""
+
+import pytest
+
+from repro.bench.raw import (raw_latency_us, raw_read_bandwidth,
+                             raw_write_bandwidth)
+from repro.config import KB, MB
+
+
+class TestRawLatency:
+    def test_small_message_latency_near_5_9us(self):
+        lat = raw_latency_us(4)
+        assert lat == pytest.approx(5.9, rel=0.10)
+
+    def test_latency_monotone_in_size(self):
+        lats = [raw_latency_us(s, iters=30) for s in (4, 256, 4096, 16384)]
+        assert lats == sorted(lats)
+
+    def test_16k_latency_includes_wire_time(self):
+        # 16 KB at ~870 MB/s adds ~19 us of wire time one-way
+        small, big = raw_latency_us(4), raw_latency_us(16 * KB)
+        assert big - small == pytest.approx(16 * KB / (872 * MB) * 1e6,
+                                            rel=0.15)
+
+
+class TestRawWriteBandwidth:
+    def test_peak_near_870(self):
+        bw = raw_write_bandwidth(1 * MB, windows=4)
+        assert bw == pytest.approx(870, rel=0.02)
+
+    def test_monotone_ramp(self):
+        sizes = (4 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB)
+        bws = [raw_write_bandwidth(s, windows=4) for s in sizes]
+        assert bws == sorted(bws)
+
+    def test_4k_write_bandwidth_band(self):
+        # Fig. 15: write already in the 500-700 MB/s band at 4 KB
+        bw = raw_write_bandwidth(4 * KB)
+        assert 450 <= bw <= 700
+
+
+class TestRawReadBandwidth:
+    """Fig. 15: RDMA write has a clear advantage over RDMA read for
+    mid-sized messages; they converge at 1 MB."""
+
+    def test_read_well_below_write_at_4k(self):
+        r, w = raw_read_bandwidth(4 * KB), raw_write_bandwidth(4 * KB)
+        assert r < 0.65 * w
+
+    def test_read_below_write_through_mid_sizes(self):
+        for s in (16 * KB, 64 * KB):
+            assert raw_read_bandwidth(s) < raw_write_bandwidth(s)
+
+    def test_read_converges_at_1m(self):
+        r, w = raw_read_bandwidth(1 * MB, windows=4), \
+            raw_write_bandwidth(1 * MB, windows=4)
+        assert r == pytest.approx(w, rel=0.03)
+
+    def test_read_peak_above_850(self):
+        assert raw_read_bandwidth(1 * MB, windows=4) > 850

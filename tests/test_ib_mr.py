@@ -1,0 +1,120 @@
+"""Tests for memory registration, keys and protection."""
+
+import pytest
+
+from repro.config import PAGE_SIZE, HardwareConfig
+from repro.hw.memory import NodeMemory
+from repro.ib.mr import ProtectionDomain
+from repro.ib.types import Access, AccessError
+
+
+def make_pd():
+    mem = NodeMemory(0)
+    return mem, ProtectionDomain(mem, 0)
+
+
+class TestRegistration:
+    def test_register_yields_distinct_keys(self):
+        mem, pd = make_pd()
+        a = mem.alloc(4096)
+        mr1 = pd.register(a, 1024)
+        mr2 = pd.register(a + 1024, 1024)
+        keys = {mr1.lkey, mr1.rkey, mr2.lkey, mr2.rkey}
+        assert len(keys) == 4
+
+    def test_lookup_by_keys(self):
+        mem, pd = make_pd()
+        a = mem.alloc(128)
+        mr = pd.register(a, 128)
+        assert pd.lookup_lkey(mr.lkey) is mr
+        assert pd.lookup_rkey(mr.rkey) is mr
+
+    def test_unknown_key_raises(self):
+        _mem, pd = make_pd()
+        with pytest.raises(AccessError):
+            pd.lookup_lkey(0xDEAD)
+        with pytest.raises(AccessError):
+            pd.lookup_rkey(0xBEEF)
+
+    def test_unmapped_range_cannot_register(self):
+        _mem, pd = make_pd()
+        with pytest.raises(Exception):
+            pd.register(0x42, 100)
+
+    def test_empty_region_rejected(self):
+        mem, pd = make_pd()
+        a = mem.alloc(16)
+        with pytest.raises(ValueError):
+            pd.register(a, 0)
+
+    def test_deregister_invalidates(self):
+        mem, pd = make_pd()
+        a = mem.alloc(64)
+        mr = pd.register(a, 64)
+        pd.deregister(mr)
+        assert not mr.valid
+        with pytest.raises(AccessError):
+            pd.lookup_lkey(mr.lkey)
+        with pytest.raises(AccessError):
+            mr.check_local(a, 1)
+
+    def test_double_deregister_rejected(self):
+        mem, pd = make_pd()
+        a = mem.alloc(64)
+        mr = pd.register(a, 64)
+        pd.deregister(mr)
+        with pytest.raises(AccessError):
+            pd.deregister(mr)
+
+    def test_pinned_pages_accounting(self):
+        mem, pd = make_pd()
+        a = mem.alloc(3 * PAGE_SIZE)
+        mr = pd.register(a, 2 * PAGE_SIZE + 1)
+        assert pd.pinned_pages == mr.page_span
+        assert mr.page_span in (3, 4)  # depends on page alignment
+        pd.deregister(mr)
+        assert pd.pinned_pages == 0
+
+
+class TestBoundsAndAccess:
+    def test_local_bounds(self):
+        mem, pd = make_pd()
+        a = mem.alloc(100)
+        mr = pd.register(a, 100)
+        mr.check_local(a, 100)
+        mr.check_local(a + 50, 50)
+        with pytest.raises(AccessError):
+            mr.check_local(a + 50, 51)
+        with pytest.raises(AccessError):
+            mr.check_local(a - 1, 10)
+
+    def test_remote_access_flags(self):
+        mem, pd = make_pd()
+        a = mem.alloc(100)
+        ro = pd.register(a, 50, Access.REMOTE_READ)
+        ro.check_remote(a, 50, Access.REMOTE_READ)
+        with pytest.raises(AccessError):
+            ro.check_remote(a, 50, Access.REMOTE_WRITE)
+
+    def test_local_only_region_denies_remote(self):
+        mem, pd = make_pd()
+        a = mem.alloc(100)
+        lo = pd.register(a, 100, Access.LOCAL_WRITE)
+        with pytest.raises(AccessError):
+            lo.check_remote(a, 1, Access.REMOTE_READ)
+
+
+class TestCosts:
+    def test_registration_cost_scales_with_pages(self):
+        cfg = HardwareConfig()
+        one_page = cfg.registration_cost(100)
+        many_pages = cfg.registration_cost(100 * PAGE_SIZE)
+        assert one_page == pytest.approx(
+            cfg.reg_base_cost + cfg.reg_per_page_cost)
+        assert many_pages == pytest.approx(
+            cfg.reg_base_cost + 100 * cfg.reg_per_page_cost)
+        assert many_pages > one_page
+
+    def test_dereg_cheaper_than_reg(self):
+        cfg = HardwareConfig()
+        assert cfg.deregistration_cost(4096) < cfg.registration_cost(4096)

@@ -1,0 +1,44 @@
+"""LogGP parameter extraction and model consistency."""
+
+import pytest
+
+from repro.bench.loggp import fit_loggp
+from repro.bench.micro import mpi_bandwidth, mpi_latency_us
+from repro.config import KB, MB
+
+
+class TestLogGPFit:
+    @pytest.fixture(scope="class")
+    def zerocopy(self):
+        return fit_loggp("zerocopy")
+
+    def test_parameters_in_sane_ranges(self, zerocopy):
+        p = zerocopy
+        assert 0 < p.o < 5e-6            # software overhead: ~1-2 us
+        assert 3e-6 < p.L < 10e-6        # wire+HCA: ~5-6 us
+        assert p.g >= p.o                # gap includes the overhead
+        assert 1e-10 < p.G < 1e-8        # 1/G between 100 MB/s, 10 GB/s
+
+    def test_inverse_G_matches_peak_bandwidth(self, zerocopy):
+        model_peak = 1 / zerocopy.G / 1e6
+        measured = mpi_bandwidth(1 * MB, "zerocopy", windows=3)
+        assert model_peak == pytest.approx(measured, rel=0.10)
+
+    def test_latency_prediction_interpolates(self, zerocopy):
+        """The fitted model predicts an unfitted size (64 KB crossing
+        into zero-copy territory) within ~30%."""
+        predicted = zerocopy.predict_latency(512 * KB) * 1e6
+        measured = mpi_latency_us(512 * KB, "zerocopy", iters=8)
+        assert predicted == pytest.approx(measured, rel=0.30)
+
+    def test_table_renders(self, zerocopy):
+        text = zerocopy.table()
+        assert "L=" in text and "MB/s" in text
+
+    def test_designs_are_distinguished(self):
+        zc = fit_loggp("zerocopy")
+        tcp = fit_loggp("tcp")
+        # TCP's L includes the interrupt path; its G the protocol
+        # ceiling — both far worse than RDMA
+        assert tcp.L > 2 * zc.L
+        assert tcp.G > 3 * zc.G

@@ -1,0 +1,86 @@
+"""Multi-method channel and the run profiler."""
+
+import pytest
+
+from repro.bench.profile import profile_run
+from repro.config import KB
+from repro.mpi import run_mpi
+
+
+def _exchange(mpi, n=16 * KB, rounds=5):
+    partner = mpi.rank ^ (mpi.size // 2)
+    sbuf = mpi.alloc(n)
+    rbuf = mpi.alloc(n)
+    sbuf.view()[:] = mpi.rank + 1
+    for _ in range(rounds):
+        yield from mpi.Sendrecv(sbuf, partner, rbuf, partner)
+    return int(rbuf.view()[0])
+
+
+class TestMultiMethod:
+    def test_correctness_mixed_topology(self):
+        def prog(mpi):
+            v = yield from _exchange(mpi)
+            total = yield from mpi.allreduce(v)
+            return total
+
+        results, _ = run_mpi(4, prog, design="multimethod", nnodes=2)
+        # partner of r is r^2; received value = partner+1
+        expected = sum((r ^ 2) + 1 for r in range(4))
+        assert all(r == expected for r in results)
+
+    def test_intra_node_pairs_use_no_rdma(self):
+        """Two ranks on one node: all traffic via shared memory."""
+        run = profile_run(2, _exchange, design="multimethod", nnodes=1)
+        assert run.hca["rdma_writes"] == 0
+        assert run.hca["rdma_reads"] == 0
+        assert run.cpu_copied_bytes > 0
+
+    def test_inter_node_pairs_use_rdma(self):
+        run = profile_run(2, _exchange, design="multimethod", nnodes=2)
+        assert run.hca["rdma_writes"] > 0
+
+    def test_mixed_uses_fewer_rdma_ops_than_pure_network(self):
+        mm = profile_run(4, _exchange, design="multimethod", nnodes=2)
+        zc = profile_run(4, _exchange, design="zerocopy", nnodes=2)
+        assert mm.hca["rdma_writes"] + mm.hca["rdma_reads"] < \
+            zc.hca["rdma_writes"] + zc.hca["rdma_reads"]
+
+    def test_local_exchange_faster_than_network(self):
+        mm = profile_run(2, _exchange, design="multimethod", nnodes=1)
+        zc = profile_run(2, _exchange, design="zerocopy", nnodes=2)
+        assert mm.elapsed < zc.elapsed
+
+    def test_nas_kernel_over_multimethod(self):
+        from repro.nas import KERNELS
+        results, _ = run_mpi(4, KERNELS["cg"], design="multimethod",
+                             nnodes=2, args=("T",))
+        assert results[0].verified
+
+
+class TestProfiler:
+    def test_breakdown_fields(self):
+        run = profile_run(2, _exchange, design="zerocopy")
+        assert run.elapsed > 0
+        assert run.hca["rdma_writes"] > 0
+        assert 0 <= run.bus_utilization[0] <= 1
+        assert 0 <= run.link_utilization[0] <= 1
+        assert 0 < run.cpu_busy[0] <= 1
+        assert "RDMA writes" in run.table()
+
+    def test_pipeline_copies_more_than_zerocopy(self):
+        """The profiler explains Fig. 11: for 64 KB messages the
+        pipelined design moves the payload through CPU copies, the
+        zero-copy design does not."""
+        pipe = profile_run(2, _exchange, design="pipeline",
+                           args=(64 * KB,))
+        zc = profile_run(2, _exchange, design="zerocopy",
+                         args=(64 * KB,))
+        assert pipe.cpu_copied_bytes > 3 * zc.cpu_copied_bytes
+        assert zc.hca["rdma_reads"] > 0
+        assert pipe.hca["rdma_reads"] == 0
+
+    def test_regcache_stats_surface(self):
+        run = profile_run(2, _exchange, design="zerocopy",
+                          args=(64 * KB, 6))
+        assert run.regcache_hits > run.regcache_misses

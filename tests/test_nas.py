@@ -1,0 +1,105 @@
+"""NAS kernels: verification against serial references across rank
+counts and channel designs, plus skeleton sanity."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_mpi
+from repro.nas import KERNELS, run_skeleton
+from repro.nas.adi import (block_tridiag_blocks, penta_bands,
+                           solve_banded_system, solve_block_tridiag)
+
+
+class TestKernelsVerify:
+    @pytest.mark.parametrize("name", list(KERNELS))
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_tiny_class_verifies(self, name, p):
+        results, _ = run_mpi(p, KERNELS[name], design="zerocopy",
+                             args=("T",))
+        assert all(r.verified for r in results if r is not None)
+
+    @pytest.mark.parametrize("name", ["cg", "ft", "mg", "is"])
+    @pytest.mark.parametrize("design", ["piggyback", "ch3"])
+    def test_design_does_not_change_results(self, name, design):
+        """The channel design affects time, never numerics."""
+        r1, _ = run_mpi(4, KERNELS[name], design=design, args=("T",))
+        r2, _ = run_mpi(4, KERNELS[name], design="zerocopy", args=("T",))
+        assert r1[0].verified and r2[0].verified
+        assert r1[0].value == pytest.approx(r2[0].value, rel=1e-12)
+
+    @pytest.mark.parametrize("name", ["ep", "cg", "mg", "ft"])
+    def test_small_class_on_four_ranks(self, name):
+        results, _ = run_mpi(4, KERNELS[name], design="zerocopy",
+                             args=("S",))
+        assert results[0].verified
+
+    def test_lu_two_ranks(self):
+        results, _ = run_mpi(2, KERNELS["lu"], design="zerocopy",
+                             args=("T",))
+        assert results[0].verified
+
+    def test_ep_partitioning_invariance(self):
+        """EP's counter-based RNG makes the global tally independent
+        of the rank count."""
+        vals = []
+        for p in (1, 2, 4):
+            results, _ = run_mpi(p, KERNELS["ep"], design="piggyback",
+                                 args=("T",))
+            vals.append(results[0].extra["counts"])
+        assert vals[0] == vals[1] == vals[2]
+
+
+class TestAdiSolvers:
+    def test_penta_solver_matches_dense(self):
+        n = 24
+        ab = penta_bands(n, 0.3)
+        dense = np.zeros((n, n))
+        for i in range(n):
+            for j in range(n):
+                if abs(i - j) <= 2:
+                    dense[i, j] = ab[2 + i - j, j]
+        rng = np.random.default_rng(5)
+        b = rng.standard_normal((n, 7))
+        x = solve_banded_system(ab, b)
+        np.testing.assert_allclose(dense @ x, b, atol=1e-10)
+
+    def test_block_tridiag_matches_dense(self):
+        n = 10
+        lower, diag, upper = block_tridiag_blocks(n, 0.3)
+        big = np.zeros((3 * n, 3 * n))
+        for i in range(n):
+            big[3*i:3*i+3, 3*i:3*i+3] = diag[i]
+            if i > 0:
+                big[3*i:3*i+3, 3*i-3:3*i] = lower[i]
+            if i < n - 1:
+                big[3*i:3*i+3, 3*i+3:3*i+6] = upper[i]
+        rng = np.random.default_rng(6)
+        rhs = rng.standard_normal((n, 3, 4))
+        x = solve_block_tridiag(lower, diag, upper, rhs)
+        flat_rhs = rhs.reshape(3 * n, 4)
+        flat_x = x.reshape(3 * n, 4)
+        np.testing.assert_allclose(big @ flat_x, flat_rhs, atol=1e-10)
+
+
+class TestSkeletons:
+    def test_skeleton_runs_and_reports(self):
+        sec, mops = run_skeleton("cg", "A", 4, "zerocopy")
+        assert sec > 0 and mops > 0
+
+    def test_pipelining_is_never_best_on_comm_heavy(self):
+        """Fig. 16's qualitative claim: the pipelining design performs
+        the worst."""
+        for b in ("ft", "is"):
+            mops = {d: run_skeleton(b, "A", 4, d)[1]
+                    for d in ("pipeline", "zerocopy", "ch3")}
+            assert mops["pipeline"] <= mops["zerocopy"] + 1e-9
+            assert mops["pipeline"] <= mops["ch3"] + 1e-9
+
+    def test_designs_within_a_few_percent_on_compute_bound(self):
+        """Fig. 16: 'the performance difference of these three designs
+        is not much'."""
+        mops = {d: run_skeleton("bt", "A", 4, d)[1]
+                for d in ("pipeline", "zerocopy", "ch3")}
+        spread = (max(mops.values()) - min(mops.values())) \
+            / max(mops.values())
+        assert spread < 0.02

@@ -1,0 +1,188 @@
+"""Registration (pin-down) cache tests, including hypothesis
+properties for arbitrary register/release sequences."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import build_cluster
+from repro.config import HardwareConfig
+from repro.mpich2.regcache import RegistrationCache
+
+
+def make(capacity=4, enabled=True):
+    cluster = build_cluster(1)
+    node = cluster.nodes[0]
+    cache = RegistrationCache(node.vapi(), capacity=capacity,
+                              enabled=enabled)
+    return cluster, node, cache
+
+
+def run(cluster, gen):
+    holder = {}
+
+    def main():
+        holder["v"] = yield from gen
+
+    cluster.spawn(main(), "main")
+    cluster.run()
+    return holder["v"]
+
+
+class TestCacheBehaviour:
+    def test_hit_on_reuse(self):
+        cluster, node, cache = make()
+        buf = node.alloc(8192)
+
+        def prog():
+            mr1 = yield from cache.register(buf.addr, 8192)
+            yield from cache.release(mr1)
+            mr2 = yield from cache.register(buf.addr, 8192)
+            yield from cache.release(mr2)
+            return mr1 is mr2
+
+        assert run(cluster, prog()) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_hit_is_much_cheaper_than_miss(self):
+        cluster, node, cache = make()
+        cfg = HardwareConfig()
+        buf = node.alloc(65536)
+        times = {}
+
+        def prog():
+            t0 = cluster.sim.now
+            mr = yield from cache.register(buf.addr, 65536)
+            times["miss"] = cluster.sim.now - t0
+            yield from cache.release(mr)
+            t0 = cluster.sim.now
+            mr = yield from cache.register(buf.addr, 65536)
+            times["hit"] = cluster.sim.now - t0
+            yield from cache.release(mr)
+
+        run(cluster, prog())
+        assert times["miss"] >= cfg.reg_base_cost
+        assert times["hit"] < cfg.reg_base_cost / 50
+
+    def test_different_lengths_are_different_entries(self):
+        cluster, node, cache = make()
+        buf = node.alloc(8192)
+
+        def prog():
+            mr1 = yield from cache.register(buf.addr, 4096)
+            mr2 = yield from cache.register(buf.addr, 8192)
+            yield from cache.release(mr1)
+            yield from cache.release(mr2)
+            return mr1 is mr2
+
+        assert run(cluster, prog()) is False
+        assert cache.misses == 2
+
+    def test_lru_eviction_deregisters(self):
+        cluster, node, cache = make(capacity=2)
+        bufs = [node.alloc(4096) for _ in range(3)]
+
+        def prog():
+            for b in bufs:
+                mr = yield from cache.register(b.addr, 4096)
+                yield from cache.release(mr)
+            return None
+
+        run(cluster, prog())
+        assert len(cache) == 2
+        assert node.hca.stats.deregistrations == 1
+
+    def test_in_use_entries_not_evicted(self):
+        cluster, node, cache = make(capacity=1)
+        bufs = [node.alloc(4096) for _ in range(3)]
+
+        def prog():
+            held = yield from cache.register(bufs[0].addr, 4096)
+            for b in bufs[1:]:
+                mr = yield from cache.register(b.addr, 4096)
+                yield from cache.release(mr)
+            # held entry must still be valid
+            assert held.valid
+            yield from cache.release(held)
+            return None
+
+        run(cluster, prog())
+
+    def test_disabled_cache_always_registers(self):
+        cluster, node, cache = make(enabled=False)
+        buf = node.alloc(4096)
+
+        def prog():
+            for _ in range(3):
+                mr = yield from cache.register(buf.addr, 4096)
+                yield from cache.release(mr)
+
+        run(cluster, prog())
+        assert node.hca.stats.registrations == 3
+        assert node.hca.stats.deregistrations == 3
+        assert cache.hits == 0
+
+    def test_flush_deregisters_everything_unreferenced(self):
+        cluster, node, cache = make(capacity=8)
+        bufs = [node.alloc(4096) for _ in range(4)]
+
+        def prog():
+            for b in bufs:
+                mr = yield from cache.register(b.addr, 4096)
+                yield from cache.release(mr)
+            yield from cache.flush()
+
+        run(cluster, prog())
+        assert len(cache) == 0
+        assert node.hca.stats.deregistrations == 4
+
+    def test_hit_rate(self):
+        cluster, node, cache = make()
+        buf = node.alloc(4096)
+
+        def prog():
+            for _ in range(4):
+                mr = yield from cache.register(buf.addr, 4096)
+                yield from cache.release(mr)
+
+        run(cluster, prog())
+        assert cache.hit_rate == pytest.approx(0.75)
+
+    def test_capacity_validation(self):
+        cluster = build_cluster(1)
+        with pytest.raises(ValueError):
+            RegistrationCache(cluster.nodes[0].vapi(), capacity=0)
+
+
+class TestCacheProperties:
+    @given(ops=st.lists(st.tuples(st.integers(0, 5), st.booleans()),
+                        min_size=1, max_size=30),
+           capacity=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_any_sequence_keeps_invariants(self, ops, capacity):
+        """For any register/release interleaving: handed-out MRs are
+        valid while referenced, the cache never exceeds capacity by
+        more than the number of in-use entries, and refcounts never go
+        negative."""
+        cluster, node, cache = make(capacity=capacity)
+        bufs = [node.alloc(4096) for _ in range(6)]
+        held = {}
+
+        def prog():
+            for idx, is_release in ops:
+                if is_release and idx in held:
+                    yield from cache.release(held.pop(idx))
+                else:
+                    if idx in held:
+                        continue
+                    mr = yield from cache.register(bufs[idx].addr, 4096)
+                    assert mr.valid
+                    held[idx] = mr
+                # every held registration stays valid
+                for mr in held.values():
+                    assert mr.valid
+                assert len(cache._cache) <= capacity + len(held)
+            for mr in held.values():
+                yield from cache.release(mr)
+
+        run(cluster, prog())

@@ -1,0 +1,378 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf, AnyOf, DeadlockError, Event, Interrupt, Process,
+    SimulationError, Simulator, Timeout,
+)
+
+
+def run(sim, gen, **kw):
+    proc = sim.spawn(gen, **kw)
+    sim.run()
+    return proc.value
+
+
+class TestTimeout:
+    def test_single_timeout_advances_clock(self):
+        sim = Simulator()
+
+        def prog():
+            yield sim.timeout(2.5)
+            return sim.now
+
+        assert run(sim, prog()) == 2.5
+
+    def test_timeouts_fire_in_order(self):
+        sim = Simulator()
+        order = []
+
+        def waiter(delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.spawn(waiter(3.0, "c"))
+        sim.spawn(waiter(1.0, "a"))
+        sim.spawn(waiter(2.0, "b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_zero_delay_timeout(self):
+        sim = Simulator()
+
+        def prog():
+            yield sim.timeout(0.0)
+            return sim.now
+
+        assert run(sim, prog()) == 0.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_timeout_carries_value(self):
+        sim = Simulator()
+
+        def prog():
+            got = yield sim.timeout(1.0, value="payload")
+            return got
+
+        assert run(sim, prog()) == "payload"
+
+    def test_same_time_fifo_order(self):
+        sim = Simulator()
+        order = []
+
+        def waiter(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in range(5):
+            sim.spawn(waiter(tag))
+        sim.run()
+        assert order == list(range(5))
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def trigger():
+            yield sim.timeout(1.0)
+            ev.succeed(42)
+
+        def waiter():
+            val = yield ev
+            return (sim.now, val)
+
+        sim.spawn(trigger())
+        p = sim.spawn(waiter())
+        sim.run()
+        assert p.value == (1.0, 42)
+
+    def test_fail_raises_in_waiter(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def trigger():
+            yield sim.timeout(1.0)
+            ev.fail(ValueError("boom"))
+
+        def waiter():
+            try:
+                yield ev
+            except ValueError as e:
+                return str(e)
+
+        sim.spawn(trigger())
+        p = sim.spawn(waiter())
+        sim.run()
+        assert p.value == "boom"
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_value_before_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_callback_after_trigger_still_runs(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("x")
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["x"]
+
+
+class TestProcess:
+    def test_return_value(self):
+        sim = Simulator()
+
+        def prog():
+            yield sim.timeout(1)
+            return "done"
+
+        assert run(sim, prog()) == "done"
+
+    def test_yield_from_composition(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(1)
+            return 10
+
+        def outer():
+            a = yield from inner()
+            b = yield from inner()
+            return a + b
+
+        assert run(sim, outer()) == 20
+        assert sim.now == 2.0
+
+    def test_wait_for_process(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(3)
+            return "child-result"
+
+        def parent():
+            result = yield sim.spawn(child())
+            return result
+
+        assert run(sim, parent()) == "child-result"
+
+    def test_yield_bare_generator_spawns_subprocess(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(1)
+            return 7
+
+        def parent():
+            val = yield child()
+            return val
+
+        assert run(sim, parent()) == 7
+
+    def test_crash_of_unwatched_process_surfaces(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1)
+            raise RuntimeError("kaboom")
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_crash_of_watched_process_propagates_to_watcher(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1)
+            raise RuntimeError("kaboom")
+
+        def watcher():
+            try:
+                yield sim.spawn(bad())
+            except RuntimeError as e:
+                return f"caught {e}"
+
+        p = sim.spawn(watcher())
+        sim.run()
+        assert p.value == "caught kaboom"
+
+    def test_interrupt(self):
+        sim = Simulator()
+
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as i:
+                return ("interrupted", i.cause, sim.now)
+
+        def interrupter(target):
+            yield sim.timeout(5)
+            target.interrupt("because")
+
+        p = sim.spawn(sleeper())
+        sim.spawn(interrupter(p))
+        sim.run()
+        assert p.value == ("interrupted", "because", 5.0)
+
+    def test_interrupt_finished_process_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(1)
+
+        p = sim.spawn(quick())
+        sim.run()
+        p.interrupt()  # no error
+
+    def test_is_alive(self):
+        sim = Simulator()
+
+        def prog():
+            yield sim.timeout(1)
+
+        p = sim.spawn(prog())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.spawn(lambda: None)
+
+
+class TestConditions:
+    def test_all_of_waits_for_everything(self):
+        sim = Simulator()
+
+        def child(d):
+            yield sim.timeout(d)
+            return d
+
+        def parent():
+            vals = yield sim.all_of([sim.spawn(child(d))
+                                     for d in (3, 1, 2)])
+            return (vals, sim.now)
+
+        vals, now = run(sim, parent())
+        assert vals == [3, 1, 2]  # construction order preserved
+        assert now == 3.0
+
+    def test_any_of_fires_on_first(self):
+        sim = Simulator()
+
+        def child(d):
+            yield sim.timeout(d)
+            return d
+
+        def parent():
+            first = yield sim.any_of([sim.spawn(child(d))
+                                      for d in (3, 1, 2)])
+            return (first.value, sim.now)
+
+        assert run(sim, parent()) == (1, 1.0)
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+
+        def parent():
+            vals = yield sim.all_of([])
+            return vals
+
+        assert run(sim, parent()) == []
+
+
+class TestRun:
+    def test_deadlock_detection(self):
+        sim = Simulator()
+
+        def stuck():
+            yield sim.event()  # never triggered
+
+        sim.spawn(stuck())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_daemon_does_not_deadlock(self):
+        sim = Simulator()
+
+        def daemon():
+            yield sim.event()
+
+        def worker():
+            yield sim.timeout(1)
+
+        sim.spawn(daemon(), daemon=True)
+        sim.spawn(worker())
+        assert sim.run() == 1.0
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def prog():
+            for _ in range(10):
+                yield sim.timeout(1)
+
+        sim.spawn(prog())
+        sim.run(until=4.5)
+        assert sim.now == 4.5
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+
+        def prog():
+            yield sim.timeout(5)
+            with pytest.raises(SimulationError):
+                sim.call_at(1.0, lambda: None)
+
+        sim.spawn(prog())
+        sim.run()
+
+    def test_call_in_and_cancel(self):
+        sim = Simulator()
+        fired = []
+        h = sim.call_in(1.0, lambda: fired.append("a"))
+        sim.call_in(2.0, lambda: fired.append("b"))
+        h.cancel()
+        sim.run()
+        assert fired == ["b"]
+
+    def test_peek(self):
+        sim = Simulator()
+        assert sim.peek() == float("inf")
+        sim.call_in(3.0, lambda: None)
+        assert sim.peek() == 3.0
+
+    def test_foreign_event_rejected(self):
+        sim1, sim2 = Simulator(), Simulator()
+        ev2 = sim2.event()
+
+        def prog():
+            yield ev2
+
+        sim1.spawn(prog())
+        with pytest.raises(SimulationError):
+            sim1.run()

@@ -1,0 +1,219 @@
+"""Unit tests for Store, Resource and Gate."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.sync import Gate, Resource, Store
+
+
+class TestStore:
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield sim.timeout(1)
+                store.put(i)
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                got.append((sim.now, item))
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert [i for _, i in got] == [0, 1, 2, 3, 4]
+        assert [t for t, _ in got] == [1, 2, 3, 4, 5]
+
+    def test_get_before_put_blocks(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def consumer():
+            item = yield store.get()
+            return (sim.now, item)
+
+        def producer():
+            yield sim.timeout(7)
+            store.put("x")
+
+        p = sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert p.value == (7, "x")
+
+    def test_multiple_getters_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        results = {}
+
+        def consumer(tag):
+            item = yield store.get()
+            results[tag] = item
+
+        def producer():
+            yield sim.timeout(1)
+            store.put("first")
+            store.put("second")
+
+        sim.spawn(consumer("a"))
+        sim.spawn(consumer("b"))
+        sim.spawn(producer())
+        sim.run()
+        assert results == {"a": "first", "b": "second"}
+
+    def test_bounded_capacity_blocks_putter(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put(1)
+            times.append(sim.now)
+            yield store.put(2)
+            times.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(10)
+            yield store.get()
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert times == [0, 10]
+
+    def test_try_put_try_get(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        assert store.try_put("a")
+        assert not store.try_put("b")
+        ok, item = store.try_get()
+        assert ok and item == "a"
+        ok, item = store.try_get()
+        assert not ok and item is None
+
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_len(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestResource:
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def worker(tag):
+            yield res.acquire()
+            log.append((sim.now, tag, "in"))
+            yield sim.timeout(5)
+            log.append((sim.now, tag, "out"))
+            res.release()
+
+        sim.spawn(worker("a"))
+        sim.spawn(worker("b"))
+        sim.run()
+        assert log == [(0, "a", "in"), (5, "a", "out"),
+                       (5, "b", "in"), (10, "b", "out")]
+
+    def test_capacity_two_runs_concurrently(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        done = []
+
+        def worker(tag):
+            yield res.acquire()
+            yield sim.timeout(5)
+            res.release()
+            done.append((tag, sim.now))
+
+        for t in ("a", "b", "c"):
+            sim.spawn(worker(t))
+        sim.run()
+        assert dict(done) == {"a": 5, "b": 5, "c": 10}
+
+    def test_release_without_acquire(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_using_releases_on_error(self):
+        sim = Simulator()
+        res = Resource(sim)
+
+        def inner():
+            yield sim.timeout(1)
+            raise ValueError("x")
+
+        def prog():
+            try:
+                yield from res.using(inner())
+            except ValueError:
+                pass
+            assert res.in_use == 0
+            return "ok"
+
+        p = sim.spawn(prog())
+        sim.run()
+        assert p.value == "ok"
+
+
+class TestGate:
+    def test_open_wakes_all_waiters(self):
+        sim = Simulator()
+        gate = Gate(sim)
+        woken = []
+
+        def waiter(tag):
+            val = yield gate.wait()
+            woken.append((tag, sim.now, val))
+
+        def opener():
+            yield sim.timeout(3)
+            n = gate.open("go")
+            assert n == 2
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+        sim.spawn(opener())
+        sim.run()
+        assert sorted(woken) == [("a", 3, "go"), ("b", 3, "go")]
+
+    def test_gate_is_reusable(self):
+        sim = Simulator()
+        gate = Gate(sim)
+        times = []
+
+        def waiter():
+            yield gate.wait()
+            times.append(sim.now)
+            yield gate.wait()
+            times.append(sim.now)
+
+        def opener():
+            yield sim.timeout(1)
+            gate.open()
+            yield sim.timeout(1)
+            gate.open()
+
+        sim.spawn(waiter())
+        sim.spawn(opener())
+        sim.run()
+        assert times == [1, 2]
+
+    def test_open_with_no_waiters(self):
+        sim = Simulator()
+        gate = Gate(sim)
+        assert gate.open() == 0

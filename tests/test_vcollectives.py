@@ -1,0 +1,144 @@
+"""Variable-count collectives (Gatherv/Scatterv/Allgatherv/Alltoallv)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MpiError, run_mpi
+
+
+def seg(rank):
+    """Rank r contributes r+1 bytes of value r+1."""
+    return bytes([rank + 1]) * (rank + 1)
+
+
+class TestGatherv:
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_variable_contributions(self, p):
+        def prog(mpi):
+            counts = [r + 1 for r in range(mpi.size)]
+            mine = mpi.alloc(counts[mpi.rank])
+            mine.write(seg(mpi.rank))
+            total = sum(counts)
+            out = mpi.alloc(total)
+            yield from mpi.COMM_WORLD.Gatherv(mine, out, counts, root=0)
+            if mpi.rank == 0:
+                return out.read()
+
+        results, _ = run_mpi(p, prog, design="zerocopy")
+        assert results[0] == b"".join(seg(r) for r in range(p))
+
+    def test_custom_displacements(self):
+        def prog(mpi):
+            counts = [2, 2]
+            displs = [4, 0]  # rank0's data after rank1's
+            mine = mpi.alloc(2)
+            mine.view()[:] = mpi.rank + 1
+            out = mpi.alloc(6)
+            out.view()[:] = 0
+            yield from mpi.COMM_WORLD.Gatherv(mine, out, counts,
+                                              displs, root=0)
+            if mpi.rank == 0:
+                return out.read()
+
+        results, _ = run_mpi(2, prog, design="zerocopy")
+        assert results[0] == bytes([2, 2, 0, 0, 1, 1])
+
+    def test_bad_counts_rejected(self):
+        def prog(mpi):
+            mine = mpi.alloc(4)
+            out = mpi.alloc(4)
+            try:
+                yield from mpi.COMM_WORLD.Gatherv(mine, out, [4], root=0)
+            except MpiError:
+                return "caught"
+
+        results, _ = run_mpi(2, prog, design="zerocopy")
+        assert results == ["caught", "caught"]
+
+
+class TestScatterv:
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_roundtrip_with_gatherv(self, p):
+        def prog(mpi):
+            counts = [r + 1 for r in range(mpi.size)]
+            total = sum(counts)
+            if mpi.rank == 0:
+                src = mpi.alloc(total)
+                src.write(bytes(range(1, total + 1)))
+            else:
+                src = mpi.alloc(1)
+            mine = mpi.alloc(counts[mpi.rank])
+            yield from mpi.COMM_WORLD.Scatterv(src, mine, counts, root=0)
+            mine.view()[:] = mine.view() + 100
+            out = mpi.alloc(total) if True else None
+            yield from mpi.COMM_WORLD.Gatherv(mine, out, counts, root=0)
+            if mpi.rank == 0:
+                return out.read()
+
+        results, _ = run_mpi(p, prog, design="zerocopy")
+        total = sum(r + 1 for r in range(p))
+        assert results[0] == bytes(100 + i for i in range(1, total + 1))
+
+
+class TestAllgatherv:
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_all_ranks_see_everything(self, p):
+        def prog(mpi):
+            counts = [r + 1 for r in range(mpi.size)]
+            mine = mpi.alloc(counts[mpi.rank])
+            mine.write(seg(mpi.rank))
+            out = mpi.alloc(sum(counts))
+            yield from mpi.COMM_WORLD.Allgatherv(mine, out, counts)
+            return out.read()
+
+        results, _ = run_mpi(p, prog, design="zerocopy")
+        expect = b"".join(seg(r) for r in range(p))
+        assert all(r == expect for r in results)
+
+
+class TestAlltoallv:
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_asymmetric_exchange(self, p):
+        """Rank r sends (r + dst + 1) bytes of value r+1 to each dst."""
+        def prog(mpi):
+            r = mpi.rank
+            send_counts = [r + dst + 1 for dst in range(mpi.size)]
+            recv_counts = [src + r + 1 for src in range(mpi.size)]
+            sbuf = mpi.alloc(sum(send_counts))
+            sbuf.view()[:] = r + 1
+            rbuf = mpi.alloc(sum(recv_counts))
+            rbuf.view()[:] = 0
+            yield from mpi.COMM_WORLD.Alltoallv(
+                sbuf, rbuf, send_counts, recv_counts)
+            # segment from src must hold src+1 repeated recv_counts[src]
+            out, off = [], 0
+            for src in range(mpi.size):
+                n = recv_counts[src]
+                out.append(bytes(rbuf.read()[off:off + n]))
+                off += n
+            return out
+
+        results, _ = run_mpi(p, prog, design="zerocopy")
+        for r, segs in enumerate(results):
+            for src, data in enumerate(segs):
+                assert data == bytes([src + 1]) * (src + r + 1)
+
+    def test_zero_counts_allowed(self):
+        def prog(mpi):
+            r = mpi.rank
+            # only rank0 -> rank1 sends anything
+            send_counts = [0, 8] if r == 0 else [0, 0]
+            recv_counts = [8, 0] if r == 1 else [0, 0]
+            sbuf = mpi.alloc(max(sum(send_counts), 1))
+            if r == 0:
+                sbuf.view()[:] = 7
+            rbuf = mpi.alloc(max(sum(recv_counts), 1))
+            rbuf.view()[:] = 0
+            yield from mpi.COMM_WORLD.Alltoallv(
+                sbuf.sub(0, sum(send_counts)),
+                rbuf.sub(0, sum(recv_counts)),
+                send_counts, recv_counts)
+            return rbuf.read()
+
+        results, _ = run_mpi(2, prog, design="zerocopy")
+        assert results[1] == bytes([7] * 8)
