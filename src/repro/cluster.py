@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List, Optional
 
 from .config import HardwareConfig
+from .faults import FaultPlan, FaultState
 from .hw.cpu import Cpu
 from .hw.membus import MemBus
 from .hw.memory import Buffer, NodeMemory
@@ -37,7 +38,7 @@ class Node:
         self.membus = MemBus(sim, net, cfg, node_id)
         self.cpus = [Cpu(sim, node_id, i) for i in range(ncpus)]
         self.hca = Hca(sim, net, cluster.fabric, cfg, node_id,
-                       self.mem, self.membus)
+                       self.mem, self.membus, faults=cluster.faults)
 
     def vapi(self, cpu_index: int = 0) -> VapiContext:
         """Open a VAPI context bound to one of this node's CPUs."""
@@ -54,13 +55,18 @@ class Cluster:
     """The whole testbed."""
 
     def __init__(self, nnodes: int, cfg: Optional[HardwareConfig] = None,
-                 ncpus_per_node: int = 2):
+                 ncpus_per_node: int = 2,
+                 faults: Optional[FaultPlan] = None):
         if nnodes < 1:
             raise ValueError("need at least one node")
         self.cfg = cfg or HardwareConfig()
         self.sim = Simulator()
         self.net = FluidNetwork(self.sim)
         self.fabric = Fabric(self.sim, self.net, self.cfg)
+        #: cluster-wide fault-injection state, shared by every HCA
+        #: (``faults`` may be a FaultPlan or a prebuilt FaultState).
+        self.faults = (faults if isinstance(faults, FaultState)
+                       else FaultState(faults))
         self.nodes: List[Node] = [
             Node(self, i, ncpus_per_node) for i in range(nnodes)
         ]
@@ -87,6 +93,10 @@ class Cluster:
 
 
 def build_cluster(nnodes: int, cfg: Optional[HardwareConfig] = None,
-                  **kw) -> Cluster:
-    """Construct a cluster modelled on the paper's testbed (§4.1)."""
-    return Cluster(nnodes, cfg, **kw)
+                  faults: Optional[FaultPlan] = None, **kw) -> Cluster:
+    """Construct a cluster modelled on the paper's testbed (§4.1).
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) makes the fabric
+    imperfect in a deterministic, seed-driven way; omitted or empty,
+    the cluster behaves exactly as before."""
+    return Cluster(nnodes, cfg, faults=faults, **kw)

@@ -77,6 +77,24 @@ class HardwareConfig:
     pci_latency: float = 0.65 * US
 
     # ------------------------------------------------------------------
+    # RC transport recovery (active only under fault injection — see
+    # repro.faults; the no-fault path never consults these)
+    # ------------------------------------------------------------------
+    #: initial ack timeout before the first retransmission.
+    rc_timeout: float = 60 * US
+    #: extra timeout allowance per payload byte — covers the data
+    #: drain (and, for reads, the responder turnaround + response
+    #: drain) of large messages at well below nominal link bandwidth,
+    #: so congestion alone cannot exhaust the retry budget.
+    rc_timeout_per_byte: float = 5e-9
+    #: exponential backoff factor applied to the timeout per retry.
+    rc_retry_backoff: float = 2.0
+    #: bounded transport retry count (IB "retry_cnt"): after this many
+    #: retransmissions the QP enters the error state and the WQE
+    #: completes with ``WcStatus.RETRY_EXC_ERR``.
+    rc_retry_cnt: int = 7
+
+    # ------------------------------------------------------------------
     # Host memory system (400 MHz FSB Xeon, 512 KB L2)
     # ------------------------------------------------------------------
     #: total memory-bus capacity in bus-bytes/s.  A memcpy consumes

@@ -15,7 +15,7 @@ from typing import Deque, Generator, List, Optional
 
 from ..sim.engine import Simulator
 from ..sim.sync import Gate
-from .types import Completion
+from .types import Completion, WcStatus
 
 __all__ = ["CompletionQueue", "CQOverflowError"]
 
@@ -34,6 +34,9 @@ class CompletionQueue:
         self._entries: Deque[Completion] = deque()
         self._gate = Gate(sim)
         self.completions_generated = 0
+        #: CQEs pushed with a non-SUCCESS status (error observability
+        #: for the layers above and for the fault-injection tests).
+        self.error_completions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -48,6 +51,8 @@ class CompletionQueue:
         cqe.timestamp = self.sim.now
         self._entries.append(cqe)
         self.completions_generated += 1
+        if cqe.status is not WcStatus.SUCCESS:
+            self.error_completions += 1
         self._gate.open()
 
     # -- consumer side ----------------------------------------------------

@@ -15,7 +15,20 @@ analysis needs:
 * DMA crosses the PCI-X bus (a fluid resource capping end-to-end peak
   at ~880 MB/s) and the host memory bus (shared with CPU copies);
 * data are *really moved*: gather at launch, scatter at delivery, with
-  rkey/bounds/access validation at the responder.
+  rkey/bounds/access validation at the responder;
+* under fault injection (see :mod:`repro.faults`) the RC transport's
+  recovery machinery is modelled explicitly: per-QP packet sequence
+  numbers, ack/timeout retransmission with exponential backoff,
+  CRC-checked delivery, duplicate suppression at the responder, and a
+  bounded retry count after which the QP enters the error state and
+  completes the WQE with ``WcStatus.RETRY_EXC_ERR`` (subsequently
+  queued WQEs flush with ``WR_FLUSH_ERR``).  The recovery path is a
+  *stop-and-wait* per WQE — a deliberate simplification of IB's
+  go-back-N that preserves the observable semantics (in-order
+  delivery, no duplication, bounded retry) at far fewer events.  With
+  no link faults configured the legacy single-shot path below runs
+  unchanged, so the no-fault event sequence — and therefore every
+  benchmark figure — is bit-for-bit identical.
 
 Simulation shortcut (semantics-preserving): instead of spin-polling
 loops generating millions of events, inbound placements open the HCA's
@@ -27,8 +40,10 @@ and they can only act on what the placed bytes/flags say.
 from __future__ import annotations
 
 import itertools
+import struct
+import zlib
 from collections import deque
-from typing import Deque, Dict, Generator, List, Optional, Tuple
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 
 from ..config import HardwareConfig
 from ..hw.membus import MemBus
@@ -46,6 +61,9 @@ from .types import (Access, AccessError, Completion, IBError, Opcode,
 __all__ = ["Hca", "QueuePair", "HcaStats"]
 
 _qpn_counter = itertools.count(0x40)
+
+#: sentinel distinguishing "timer fired" from any ack value
+_TIMED_OUT = object()
 
 
 class HcaStats:
@@ -84,6 +102,16 @@ class QueuePair:
         self._rq: Deque[RecvRequest] = deque()
         self._engine = None  # lazily started send-engine process
         self.outstanding_send_wqes = 0
+        # -- RC recovery state (used only under fault injection) -------
+        #: next packet sequence number this QP assigns to a WQE.
+        self.psn = 0
+        #: next PSN expected from the peer (stop-and-wait: anything
+        #: below is a retransmit duplicate).
+        self.expected_psn = 0
+        #: responder cache of the last delivery's (psn, response) so a
+        #: duplicate retransmit re-acks the original outcome without
+        #: re-executing (essential for atomics: exactly-once RMW).
+        self._resp_cache: Optional[Tuple[int, Any]] = None
 
     # -- wiring -----------------------------------------------------------
     def connect(self, remote: "QueuePair") -> None:
@@ -133,16 +161,37 @@ class QueuePair:
     def _send_engine(self) -> Generator:
         sim = self.hca.sim
         cfg = self.hca.cfg
+        faults = self.hca.faults
         while True:
             wr: WorkRequest = yield self._sq.get()
+            if self.error:
+                # QP in error state: flush queued descriptors without
+                # executing them (IB semantics after a fatal error).
+                self._complete(wr, WcStatus.WR_FLUSH_ERR, 0)
+                self.outstanding_send_wqes -= 1
+                continue
             yield sim.timeout(cfg.hca_send_processing)
             try:
-                if wr.opcode in (Opcode.RDMA_WRITE, Opcode.SEND):
-                    yield from self._execute_write_or_send(wr)
+                if faults.take_wc_error(self.hca.node_id):
+                    # injected local completion error: the HCA gives up
+                    # on this WQE and the QP transitions to error.
+                    self.error = True
+                    self._complete(wr, WcStatus.RETRY_EXC_ERR, 0)
+                elif wr.opcode in (Opcode.RDMA_WRITE, Opcode.SEND):
+                    if faults.transport_active:
+                        yield from self._execute_write_or_send_rc(wr)
+                    else:
+                        yield from self._execute_write_or_send(wr)
                 elif wr.opcode is Opcode.RDMA_READ:
-                    yield from self._execute_read(wr)
+                    if faults.transport_active:
+                        yield from self._execute_read_rc(wr)
+                    else:
+                        yield from self._execute_read(wr)
                 elif wr.opcode in (Opcode.FETCH_ADD, Opcode.CMP_SWAP):
-                    yield from self._execute_atomic(wr)
+                    if faults.transport_active:
+                        yield from self._execute_atomic_rc(wr)
+                    else:
+                        yield from self._execute_atomic(wr)
                 else:  # pragma: no cover - defensive
                     raise IBError(f"bad opcode {wr.opcode}")
             except AccessError:
@@ -320,6 +369,320 @@ class QueuePair:
         self.hca.inbound_gate.open()
         self._complete(wr, WcStatus.SUCCESS, 8)
 
+    # -- RC recovery path (fault injection only) ---------------------------
+    #
+    # Stop-and-wait per WQE: one PSN, transmit, wait for the ack with
+    # an exponentially backed-off timeout, retransmit up to
+    # ``rc_retry_cnt`` times, then error the QP.  The responder keeps
+    # ``expected_psn`` plus a one-entry response cache so duplicate
+    # retransmits (lost acks, spurious timeouts) are suppressed and
+    # re-acked with the original outcome — writes/sends place bytes at
+    # most once, atomics execute their RMW exactly once.
+
+    def _retry_timeout(self, attempt: int, nbytes: int) -> float:
+        cfg = self.hca.cfg
+        return (cfg.rc_timeout * cfg.rc_retry_backoff ** attempt
+                + nbytes * cfg.rc_timeout_per_byte)
+
+    def _await_response(self, resp: Event, timeout: float) -> Generator:
+        """Wait for ``resp`` or a timeout; returns the response value,
+        or ``_TIMED_OUT``."""
+        sim = self.hca.sim
+        timer = sim.event()
+        handle = sim.call_in(timeout, timer.succeed)
+        fired = yield sim.any_of([resp, timer])
+        if fired is resp:
+            handle.cancel()
+            return resp._value
+        self.hca.faults.stats.timeouts += 1
+        return _TIMED_OUT
+
+    def _enter_error(self, wr: WorkRequest) -> None:
+        """Transport retry count exceeded: error the QP and surface an
+        error CQE (never a hang) for the consumer to observe."""
+        self.error = True
+        self.hca.faults.stats.retry_exhaustions += 1
+        self._complete(wr, WcStatus.RETRY_EXC_ERR, 0)
+
+    def _execute_write_or_send_rc(self, wr: WorkRequest) -> Generator:
+        sim, cfg = self.hca.sim, self.hca.cfg
+        faults = self.hca.faults
+        remote = self.remote
+        assert remote is not None
+        nbytes = wr.total_length
+        payload = self._gather(wr)
+
+        if wr.opcode is Opcode.RDMA_WRITE:
+            rmr = remote.hca.pd.lookup_rkey(wr.rkey)
+            rmr.check_remote(wr.remote_addr, nbytes, Access.REMOTE_WRITE)
+            self.hca.stats.rdma_writes += 1
+            self.hca.stats.bytes_written += nbytes
+        else:
+            self.hca.stats.sends += 1
+            self.hca.stats.bytes_sent += nbytes
+
+        psn = self.psn
+        self.psn += 1
+        crc = zlib.crc32(payload)
+        for attempt in range(cfg.rc_retry_cnt + 1):
+            if attempt:
+                faults.stats.retransmissions += 1
+            yield sim.timeout(cfg.pci_latency)
+            if nbytes:
+                route = self.hca.dma_route_to(remote.hca)
+                yield self.hca.net.transfer(
+                    nbytes, route, label=f"qp{self.qpn}.{wr.opcode.value}")
+            ack = sim.event()
+            sim.spawn(self._deliver_rc(wr, payload, crc, remote, psn, ack),
+                      name=f"qp{self.qpn}.deliver_rc")
+            status = yield from self._await_response(
+                ack, self._retry_timeout(attempt, nbytes))
+            if status is not _TIMED_OUT:
+                self._complete(
+                    wr, status,
+                    nbytes if status is WcStatus.SUCCESS else 0)
+                return
+        self._enter_error(wr)
+
+    def _deliver_rc(self, wr: WorkRequest, payload: bytes, crc: int,
+                    remote: "QueuePair", psn: int, ack: Event
+                    ) -> Generator:
+        sim, cfg = self.hca.sim, self.hca.cfg
+        faults = self.hca.faults
+        src, dst = self.hca.node_id, remote.hca.node_id
+        verdict, extra = faults.packet_verdict(src, dst, sim.now)
+        if verdict == "drop":
+            return  # no ack: the requester times out and retransmits
+        if extra:
+            yield sim.timeout(extra)
+        yield sim.timeout(self.hca.fabric.latency(src, dst))
+        yield sim.timeout(cfg.pci_latency + cfg.hca_recv_processing)
+        if verdict == "corrupt":
+            # a byte flipped in transit; the responder's invariant CRC
+            # rejects the packet (silent discard -> requester timeout).
+            corrupted = faults.corrupt(payload, src, dst)
+            if zlib.crc32(corrupted) != crc:
+                faults.stats.crc_detected += 1
+                return
+            # empty payloads have nothing to flip; fall through
+
+        nbytes = len(payload)
+        if psn < remote.expected_psn:
+            # duplicate retransmit: do NOT place again, just re-ack the
+            # cached outcome so the requester can complete.
+            faults.stats.duplicates += 1
+            cache = remote._resp_cache
+            status = (cache[1] if cache and cache[0] == psn
+                      else WcStatus.SUCCESS)
+        elif wr.opcode is Opcode.RDMA_WRITE:
+            if nbytes:
+                remote.hca.mem.write(wr.remote_addr, payload)
+            status = WcStatus.SUCCESS
+            remote._resp_cache = (psn, status)
+            remote.expected_psn = psn + 1
+            remote.hca.inbound_gate.open()
+        else:  # SEND consumes a receive WQE
+            status = WcStatus.SUCCESS
+            if not remote._rq:
+                remote.error = True
+                status = WcStatus.RNR_RETRY_EXC_ERR
+            else:
+                rr = remote._rq.popleft()
+                if rr.total_length < nbytes:
+                    remote.error = True
+                    status = WcStatus.LOC_LEN_ERR
+                else:
+                    off = 0
+                    for sge in rr.sges:
+                        take = min(sge.length, nbytes - off)
+                        if take <= 0:
+                            break
+                        remote.hca.mem.write(sge.addr,
+                                             payload[off:off + take])
+                        off += take
+                    remote.recv_cq.push(Completion(
+                        wr_id=rr.wr_id, status=WcStatus.SUCCESS,
+                        opcode=Opcode.RECV, byte_len=nbytes,
+                        qp_num=remote.qpn))
+            remote._resp_cache = (psn, status)
+            remote.expected_psn = psn + 1
+            remote.hca.inbound_gate.open()
+        # ack leg back to the requester, itself subject to link faults
+        # (a corrupted ack is discarded like a lost one).
+        averdict, aextra = faults.packet_verdict(dst, src, sim.now)
+        if averdict in ("drop", "corrupt"):
+            if averdict == "corrupt":
+                faults.stats.crc_detected += 1
+            return
+        if aextra:
+            yield sim.timeout(aextra)
+        yield sim.timeout(self.hca.fabric.latency(dst, src))
+        if not ack.triggered:
+            ack.succeed(status)
+
+    def _execute_read_rc(self, wr: WorkRequest) -> Generator:
+        sim, cfg = self.hca.sim, self.hca.cfg
+        faults = self.hca.faults
+        remote = self.remote
+        assert remote is not None
+        nbytes = wr.total_length
+        # validate both ends up front (first-packet NAK semantics)
+        for sge in wr.sges:
+            self.hca.pd.lookup_lkey(sge.lkey).check_local(sge.addr,
+                                                          sge.length)
+        rmr = remote.hca.pd.lookup_rkey(wr.rkey)
+        rmr.check_remote(wr.remote_addr, nbytes, Access.REMOTE_READ)
+        self.psn += 1
+        # a read is idempotent: on timeout the whole request/response
+        # exchange is simply reissued — no dedup needed at the
+        # responder, and the timeout budget covers both legs plus the
+        # serialized responder turnaround.
+        for attempt in range(cfg.rc_retry_cnt + 1):
+            if attempt:
+                faults.stats.retransmissions += 1
+            done = sim.event()
+            sim.spawn(self._read_exchange_rc(wr, remote, nbytes, done),
+                      name=f"qp{self.qpn}.read_rc")
+            result = yield from self._await_response(
+                done, self._retry_timeout(attempt, 2 * nbytes))
+            if result is not _TIMED_OUT:
+                break
+        else:
+            self._enter_error(wr)
+            return
+        if nbytes:
+            off = 0
+            for sge in wr.sges:
+                self.hca.mem.write(sge.addr, result[off:off + sge.length])
+                off += sge.length
+        self.hca.stats.rdma_reads += 1
+        self.hca.stats.bytes_read += nbytes
+        self.hca.inbound_gate.open()
+        self._complete(wr, WcStatus.SUCCESS, nbytes)
+
+    def _read_exchange_rc(self, wr: WorkRequest, remote: "QueuePair",
+                          nbytes: int, done: Event) -> Generator:
+        sim, cfg = self.hca.sim, self.hca.cfg
+        faults = self.hca.faults
+        src, dst = self.hca.node_id, remote.hca.node_id
+        verdict, extra = faults.packet_verdict(src, dst, sim.now)
+        if verdict in ("drop", "corrupt"):
+            if verdict == "corrupt":
+                faults.stats.crc_detected += 1
+            return
+        if extra:
+            yield sim.timeout(extra)
+        yield sim.timeout(self.hca.fabric.latency(src, dst))
+        yield remote.hca.read_engine.acquire()
+        try:
+            yield sim.timeout(cfg.hca_read_response)
+            payload = remote.hca.mem.read(wr.remote_addr, nbytes)
+            yield sim.timeout(cfg.pci_latency)
+            if nbytes:
+                route = remote.hca.dma_route_to(self.hca)
+                yield self.hca.net.transfer(nbytes, route,
+                                            label=f"qp{self.qpn}.read")
+        finally:
+            remote.hca.read_engine.release()
+        rverdict, rextra = faults.packet_verdict(dst, src, sim.now)
+        if rverdict == "drop":
+            return
+        if rverdict == "corrupt":
+            if nbytes:
+                faults.stats.crc_detected += 1
+                return  # CRC rejects the response at the requester
+        if rextra:
+            yield sim.timeout(rextra)
+        yield sim.timeout(self.hca.fabric.latency(dst, src))
+        yield sim.timeout(cfg.pci_latency + cfg.hca_recv_processing)
+        if not done.triggered:
+            done.succeed(payload)
+
+    def _execute_atomic_rc(self, wr: WorkRequest) -> Generator:
+        sim, cfg = self.hca.sim, self.hca.cfg
+        faults = self.hca.faults
+        remote = self.remote
+        assert remote is not None
+        if len(wr.sges) != 1 or wr.sges[0].length != 8:
+            raise IBError("atomics need exactly one 8-byte local SGE")
+        sge = wr.sges[0]
+        self.hca.pd.lookup_lkey(sge.lkey).check_local(sge.addr, 8)
+        rmr = remote.hca.pd.lookup_rkey(wr.rkey)
+        rmr.check_remote(wr.remote_addr, 8, Access.REMOTE_ATOMIC)
+        if wr.remote_addr % 8:
+            raise AccessError("atomic target must be 8-byte aligned")
+        psn = self.psn
+        self.psn += 1
+        for attempt in range(cfg.rc_retry_cnt + 1):
+            if attempt:
+                faults.stats.retransmissions += 1
+            done = sim.event()
+            sim.spawn(self._atomic_exchange_rc(wr, remote, psn, done),
+                      name=f"qp{self.qpn}.atomic_rc")
+            old_raw = yield from self._await_response(
+                done, self._retry_timeout(attempt, 16))
+            if old_raw is not _TIMED_OUT:
+                break
+        else:
+            self._enter_error(wr)
+            return
+        self.hca.mem.write(sge.addr, old_raw)
+        self.hca.stats.atomics += 1
+        self.hca.inbound_gate.open()
+        self._complete(wr, WcStatus.SUCCESS, 8)
+
+    def _atomic_exchange_rc(self, wr: WorkRequest, remote: "QueuePair",
+                            psn: int, done: Event) -> Generator:
+        sim, cfg = self.hca.sim, self.hca.cfg
+        faults = self.hca.faults
+        src, dst = self.hca.node_id, remote.hca.node_id
+        verdict, extra = faults.packet_verdict(src, dst, sim.now)
+        if verdict in ("drop", "corrupt"):
+            if verdict == "corrupt":
+                faults.stats.crc_detected += 1
+            return
+        if extra:
+            yield sim.timeout(extra)
+        yield sim.timeout(self.hca.fabric.latency(src, dst))
+        yield remote.hca.read_engine.acquire()
+        try:
+            yield sim.timeout(cfg.hca_read_response)
+            if psn < remote.expected_psn:
+                # duplicate retransmit: return the cached old value —
+                # the RMW must not run twice.
+                faults.stats.duplicates += 1
+                cache = remote._resp_cache
+                if not cache or cache[0] != psn:
+                    return  # stale beyond the cache: no response
+                old_raw = cache[1]
+            else:
+                old_raw = remote.hca.mem.read(wr.remote_addr, 8)
+                old = struct.unpack("<Q", old_raw)[0]
+                if wr.opcode is Opcode.FETCH_ADD:
+                    new = (old + wr.compare_add) & 0xFFFFFFFFFFFFFFFF
+                    remote.hca.mem.write(wr.remote_addr,
+                                         struct.pack("<Q", new))
+                else:  # CMP_SWAP
+                    if old == wr.compare_add:
+                        remote.hca.mem.write(wr.remote_addr,
+                                             struct.pack("<Q", wr.swap))
+                remote._resp_cache = (psn, old_raw)
+                remote.expected_psn = psn + 1
+                remote.hca.inbound_gate.open()
+        finally:
+            remote.hca.read_engine.release()
+        rverdict, rextra = faults.packet_verdict(dst, src, sim.now)
+        if rverdict in ("drop", "corrupt"):
+            if rverdict == "corrupt":
+                faults.stats.crc_detected += 1
+            return
+        if rextra:
+            yield sim.timeout(rextra)
+        yield sim.timeout(self.hca.fabric.latency(dst, src))
+        yield sim.timeout(cfg.pci_latency + cfg.hca_recv_processing)
+        if not done.triggered:
+            done.succeed(old_raw)
+
     def _complete(self, wr: WorkRequest, status: WcStatus,
                   nbytes: int) -> None:
         if wr.signaled or status is not WcStatus.SUCCESS:
@@ -339,7 +702,7 @@ class Hca:
 
     def __init__(self, sim: Simulator, net: FluidNetwork, fabric: Fabric,
                  cfg: HardwareConfig, node_id: int, mem: NodeMemory,
-                 membus: MemBus):
+                 membus: MemBus, faults=None):
         self.sim = sim
         self.net = net
         self.fabric = fabric
@@ -347,6 +710,14 @@ class Hca:
         self.node_id = node_id
         self.mem = mem
         self.membus = membus
+        if faults is None:
+            # local import: repro.faults is import-light, but importing
+            # it at module scope would cycle through repro.ib.__init__.
+            from ..faults import FaultState
+            faults = FaultState()
+        #: shared, cluster-wide fault-injection state (disabled by
+        #: default — every hook short-circuits on an empty plan).
+        self.faults = faults
         self.pd = ProtectionDomain(mem, node_id)
         self.pci = FluidResource(f"pci[{node_id}]", cfg.pci_dma_bandwidth)
         #: serializes RDMA-read responses (InfiniHost read engine)

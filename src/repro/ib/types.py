@@ -16,6 +16,7 @@ from typing import Any, List, Optional, Tuple
 __all__ = [
     "Opcode", "WcStatus", "Access", "Sge", "WorkRequest", "RecvRequest",
     "Completion", "IBError", "QPError", "AccessError", "RnrError",
+    "RegistrationError",
 ]
 
 _wrid = itertools.count(1)
@@ -37,6 +38,13 @@ class RnrError(IBError):
     """Receiver not ready: SEND arrived with no posted receive."""
 
 
+class RegistrationError(IBError):
+    """Memory registration (pin-down) failed — the OS refused to lock
+    the pages or the HCA translation table is full.  Raised by the
+    verbs layer; consumers with a fallback path (the zero-copy channel)
+    degrade to streaming through preregistered buffers."""
+
+
 class Opcode(enum.Enum):
     SEND = "send"
     RDMA_WRITE = "rdma_write"
@@ -56,6 +64,7 @@ class WcStatus(enum.Enum):
     LOC_PROT_ERR = "local_protection_error"
     REM_ACCESS_ERR = "remote_access_error"
     RNR_RETRY_EXC_ERR = "rnr_retry_exceeded"
+    RETRY_EXC_ERR = "transport_retry_exceeded"
     WR_FLUSH_ERR = "flushed"
 
 

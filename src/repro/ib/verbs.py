@@ -22,8 +22,8 @@ from ..sim.engine import Simulator
 from .cq import CompletionQueue
 from .hca import Hca, QueuePair
 from .mr import MemoryRegion
-from .types import (Access, Completion, Opcode, RecvRequest, Sge,
-                    WcStatus, WorkRequest)
+from .types import (Access, Completion, Opcode, RecvRequest,
+                    RegistrationError, Sge, WcStatus, WorkRequest)
 
 __all__ = ["VapiContext"]
 
@@ -41,8 +41,19 @@ class VapiContext:
     def reg_mr(self, addr: int, length: int,
                access: Access = Access.all_access()
                ) -> Generator[None, None, MemoryRegion]:
-        """Register (pin) a buffer; charges the pin-down cost."""
+        """Register (pin) a buffer; charges the pin-down cost.
+
+        Raises :class:`RegistrationError` when fault injection says the
+        pin-down fails (the cost is still paid: the OS walked the pages
+        before refusing).  Only this charged, user-buffer path is
+        injectable — establish-time ring registrations go through the
+        protection domain directly.
+        """
         yield from self.cpu.work(self.cfg.registration_cost(length))
+        if self.hca.faults.take_reg_failure(self.hca.node_id):
+            raise RegistrationError(
+                f"node {self.hca.node_id}: injected registration "
+                f"failure for [{addr:#x}, +{length})")
         mr = self.hca.pd.register(addr, length, access)
         self.hca.stats.registrations += 1
         return mr

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..cluster import Cluster, build_cluster
 from ..config import ChannelConfig, HardwareConfig
+from ..faults import FaultPlan
 from ..hw.memory import Buffer
 from ..mpich2.ch3 import Ch3Device
 from ..mpich2.channels import CHANNELS
@@ -103,9 +104,11 @@ class World:
 def build_world(nranks: int, design: str = "zerocopy",
                 cfg: Optional[HardwareConfig] = None,
                 ch_cfg: Optional[ChannelConfig] = None,
-                nnodes: Optional[int] = None) -> World:
+                nnodes: Optional[int] = None,
+                faults: Optional[FaultPlan] = None) -> World:
     """Construct a world: ranks round-robin over nodes (default one
-    rank per node, like the paper's runs)."""
+    rank per node, like the paper's runs).  ``faults`` injects
+    deterministic fabric/HCA faults (see :mod:`repro.faults`)."""
     if design not in DESIGNS:
         raise ValueError(f"unknown design {design!r}; pick from "
                          f"{DESIGNS}")
@@ -117,7 +120,7 @@ def build_world(nranks: int, design: str = "zerocopy",
     nnodes = nnodes or nranks
     if nnodes > nranks:
         nnodes = nranks
-    cluster = build_cluster(nnodes, cfg,
+    cluster = build_cluster(nnodes, cfg, faults=faults,
                             ncpus_per_node=max(2, -(-nranks // nnodes)))
 
     if design == "ch3":
@@ -155,6 +158,7 @@ def run_mpi(nranks: int, prog: Callable, *,
             cfg: Optional[HardwareConfig] = None,
             ch_cfg: Optional[ChannelConfig] = None,
             nnodes: Optional[int] = None,
+            faults: Optional[FaultPlan] = None,
             args: Sequence = (),
             until: Optional[float] = None) -> Tuple[List, float]:
     """Run ``prog(mpi, *args)`` on ``nranks`` ranks; returns
@@ -163,7 +167,7 @@ def run_mpi(nranks: int, prog: Callable, *,
     ``prog`` must be a generator function; all MPI calls inside use
     ``yield from`` (see the examples/ directory).
     """
-    world = build_world(nranks, design, cfg, ch_cfg, nnodes)
+    world = build_world(nranks, design, cfg, ch_cfg, nnodes, faults)
     procs = [world.cluster.spawn(prog(ctx, *args), f"rank{ctx.rank}")
              for ctx in world.contexts]
     world.cluster.run(until)

@@ -25,10 +25,11 @@ from typing import Deque, Dict, Generator, List, Optional, Sequence
 
 from ..config import ChannelConfig, HardwareConfig
 from ..hw.memory import Buffer
+from ..ib.types import QPError
 from .adi3 import (ANY_SOURCE, ANY_TAG, Adi3Device, MpiError, Request,
                    TruncateError)
-from .channels.base import (Connection, RdmaChannel, advance_iov,
-                            clamp_iov, iov_total)
+from .channels.base import (ChannelBrokenError, Connection, RdmaChannel,
+                            advance_iov, clamp_iov, iov_total)
 
 __all__ = ["Ch3Device", "PKT_SIZE", "PKT_EAGER", "PKT_RNDV_RTS",
            "PKT_RNDV_CTS", "PKT_RNDV_FIN", "pack_header",
@@ -290,7 +291,14 @@ class Ch3Device(Adi3Device):
             if hasattr(st.conn, "put_ws_hint"):
                 st.conn.put_ws_hint = op.payload_size
             remaining = advance_iov(op.iov, op.offset)
-            n = yield from self.channel.put(st.conn, remaining)
+            try:
+                n = yield from self.channel.put(st.conn, remaining)
+            except (QPError, ChannelBrokenError) as exc:
+                # unrecoverable transport failure: surface an MPI
+                # error instead of hanging the rank
+                raise MpiError(
+                    f"rank {self.rank}: connection to rank "
+                    f"{st.conn.peer_rank} failed: {exc}") from exc
             if n == 0:
                 break
             moved = True
@@ -317,8 +325,13 @@ class Ch3Device(Adi3Device):
         while True:
             if st.inflight is None:
                 want = PKT_SIZE - st.hdr_off
-                n = yield from self.channel.get(
-                    st.conn, [st.hdr_buf.sub(st.hdr_off, want)])
+                try:
+                    n = yield from self.channel.get(
+                        st.conn, [st.hdr_buf.sub(st.hdr_off, want)])
+                except (QPError, ChannelBrokenError) as exc:
+                    raise MpiError(
+                        f"rank {self.rank}: connection to rank "
+                        f"{st.conn.peer_rank} failed: {exc}") from exc
                 if n == 0:
                     return moved
                 moved = True
@@ -337,7 +350,12 @@ class Ch3Device(Adi3Device):
                     st.conn.get_ws_hint = size
                 remaining = clamp_iov(advance_iov(msg.iov, msg.received),
                                       size - msg.received)
-                n = yield from self.channel.get(st.conn, remaining)
+                try:
+                    n = yield from self.channel.get(st.conn, remaining)
+                except (QPError, ChannelBrokenError) as exc:
+                    raise MpiError(
+                        f"rank {self.rank}: connection to rank "
+                        f"{st.conn.peer_rank} failed: {exc}") from exc
                 if n == 0:
                     return moved
                 moved = True

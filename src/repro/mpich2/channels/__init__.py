@@ -11,8 +11,8 @@ zerocopy    :class:`ZeroCopyChannel`         §5
 ========== ================================ =========================
 """
 
-from .base import (ChannelError, Connection, IovCursor, RdmaChannel,
-                   advance_iov, iov_total)
+from .base import (ChannelBrokenError, ChannelError, Connection,
+                   IovCursor, RdmaChannel, advance_iov, iov_total)
 from .basic import BasicChannel
 from .chunked import ChunkedChannel, ChunkedConnection
 from .multimethod import MultiMethodChannel
@@ -31,7 +31,8 @@ CHANNELS = {
 }
 
 __all__ = [
-    "RdmaChannel", "Connection", "ChannelError", "IovCursor",
+    "RdmaChannel", "Connection", "ChannelError", "ChannelBrokenError",
+    "IovCursor",
     "advance_iov", "iov_total", "CHANNELS",
     "ShmChannel", "BasicChannel", "PiggybackChannel", "PipelineChannel",
     "ZeroCopyChannel", "MultiMethodChannel", "TcpChannel",

@@ -35,11 +35,19 @@ from ...hw.memory import Buffer
 from ...ib.verbs import VapiContext
 
 __all__ = ["RdmaChannel", "Connection", "IovCursor", "advance_iov",
-           "clamp_iov", "iov_total", "ChannelError"]
+           "clamp_iov", "iov_total", "ChannelError",
+           "ChannelBrokenError"]
 
 
 class ChannelError(Exception):
     """Protocol violation inside a channel implementation."""
+
+
+class ChannelBrokenError(ChannelError):
+    """The underlying transport failed unrecoverably (QP in error
+    state after retry exhaustion, flushed/errored completions): the
+    connection is dead.  CH3 converts this into an MPI error so rank
+    programs see an exception, never a hang."""
 
 
 def iov_total(iov: Sequence[Buffer]) -> int:
@@ -132,6 +140,17 @@ class IovCursor:
                 self._i += 1
                 self._off = 0
         self.consumed += nbytes
+
+    def mark(self):
+        """Snapshot the cursor position (element index, offset,
+        consumed count) for a later :meth:`reset` — used by the
+        zero-copy receiver to rewind when registering the destination
+        fails partway through."""
+        return (self._i, self._off, self.consumed)
+
+    def reset(self, mark) -> None:
+        """Rewind to a position captured by :meth:`mark`."""
+        self._i, self._off, self.consumed = mark
 
 
 class Connection:

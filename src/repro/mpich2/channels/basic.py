@@ -19,7 +19,8 @@ from typing import Generator, Optional, Sequence
 
 from ...hw.memory import Buffer
 from ...ib.types import WcStatus
-from .base import (ChannelError, Connection, IovCursor, RdmaChannel,
+from .base import (ChannelBrokenError, ChannelError, Connection,
+                   IovCursor, RdmaChannel,
                    iov_total)
 
 __all__ = ["BasicChannel", "BasicConnection"]
@@ -126,9 +127,13 @@ class BasicChannel(RdmaChannel):
         design's conservative step-by-step behaviour."""
         wr = yield from self.ctx.rdma_write(conn.qp, sges, raddr, rkey,
                                             signaled=True)
-        cqe = yield from self.ctx.wait_wr(conn.qp.send_cq, wr)
+        cqe = yield from self.ctx.wait_cq(conn.qp.send_cq)
         if cqe.status is not WcStatus.SUCCESS:
-            raise ChannelError(f"basic-design write failed: {cqe.status}")
+            raise ChannelBrokenError(
+                f"basic-design write failed: {cqe.status}")
+        if cqe.wr_id != wr.wr_id:
+            raise ChannelError(
+                f"expected completion of wr {wr.wr_id}, got {cqe.wr_id}")
         return None
 
     def put(self, conn: BasicConnection, iov: Sequence[Buffer]

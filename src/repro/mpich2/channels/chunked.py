@@ -32,13 +32,13 @@ from typing import Dict, Generator, List, Optional, Sequence
 
 from ...config import KB
 from ...hw.memory import Buffer
-from ...ib.types import Opcode, WcStatus
+from ...ib.types import Opcode, RegistrationError, WcStatus
 from ..regcache import RegistrationCache
-from .base import (ChannelError, Connection, IovCursor, RdmaChannel,
-                   iov_total)
-from .ring import (HDR_SIZE, KIND_ACK, KIND_CREDIT, KIND_DATA, KIND_RTS,
-                   RTS_PAYLOAD, RingReceiver, RingSender, pack_rts,
-                   unpack_rts)
+from .base import (ChannelBrokenError, ChannelError, Connection, IovCursor,
+                   RdmaChannel, iov_total)
+from .ring import (HDR_SIZE, KIND_ACK, KIND_CREDIT, KIND_DATA, KIND_NAK,
+                   KIND_RTS, RTS_PAYLOAD, RingReceiver, RingSender,
+                   pack_rts, unpack_rts)
 
 __all__ = ["ChunkedChannel", "ChunkedConnection"]
 
@@ -72,6 +72,10 @@ class ChunkedConnection(Connection):
         self.receiver: Optional[RingReceiver] = None
         self.zc_send: Optional[ZcopySend] = None
         self.zc_read: Optional[ZcopyRead] = None
+        #: bytes of the outgoing stream to force through the ring path
+        #: after a zero-copy registration failure (ours or, via NAK,
+        #: the receiver's) — prevents an RTS/fail livelock.
+        self.zc_suppress = 0
         #: working-set hints for copy cost modelling (0 = default);
         #: set by the layer above, which knows the message size.
         self.put_ws_hint = 0
@@ -91,6 +95,12 @@ class ChunkedChannel(RdmaChannel):
             ctx, capacity=ch_cfg.regcache_capacity,
             enabled=ch_cfg.registration_cache)
         self.nslots = ch_cfg.ring_size // ch_cfg.chunk_size
+        #: zero-copy sends downgraded to the ring path because *our*
+        #: registration failed
+        self.zc_fallbacks = 0
+        #: RTS advertisements we refused (receiver-side registration
+        #: failure) with a NAK chunk
+        self.zc_nak_sent = 0
 
     # ------------------------------------------------------------------
     # establish: rings, staging, QPs, out-of-band exchange
@@ -162,7 +172,7 @@ class ChunkedChannel(RdmaChannel):
             if info is None:
                 return None
             kind, _plen, credit, aux = info
-            if kind not in (KIND_CREDIT, KIND_ACK):
+            if kind not in (KIND_CREDIT, KIND_ACK, KIND_NAK):
                 return None
             conn.sender.absorb_credit(credit)
             yield from self.ctx.cpu.work(self.cfg.chunk_overhead_cpu)
@@ -170,6 +180,8 @@ class ChunkedChannel(RdmaChannel):
                 if conn.zc_send is None or conn.zc_send.op_id != aux:
                     raise ChannelError(f"stray zero-copy ACK {aux}")
                 conn.zc_send.acked = True
+            elif kind == KIND_NAK:
+                yield from self._handle_zc_nak(conn, aux)
             conn.receiver.consume_chunk()
 
     def put(self, conn: ChunkedConnection, iov: Sequence[Buffer]
@@ -200,12 +212,17 @@ class ChunkedChannel(RdmaChannel):
         while not cur.exhausted:
             elem = cur.element_remaining()
             if (self.ZEROCOPY and cur.at_element_start()
+                    and conn.zc_suppress <= 0
                     and elem >= self.ch_cfg.zerocopy_threshold):
                 # flush any batched chunks so stream order is kept
                 yield from self._flush(conn, pending_posts)
                 pending_posts = []
                 started = yield from self._start_zcopy_send(conn, cur)
-                break  # zero-copy bytes complete later (via ACK)
+                if started or conn.zc_suppress <= 0:
+                    # zero-copy in flight (bytes complete later via
+                    # ACK), or no free slot to send the RTS yet
+                    break
+                continue  # registration failed: stream via the ring
             if conn.sender.slots_free() <= 0:
                 break
             yield from self._emit_data_chunk(conn, cur, pending_posts)
@@ -223,7 +240,7 @@ class ChunkedChannel(RdmaChannel):
         # never pack the head of a would-be zero-copy element behind
         # other bytes in the same chunk
         if self.ZEROCOPY:
-            limit = self._bytes_until_zcopy_element(cur)
+            limit = self._bytes_until_zcopy_element(cur, conn.zc_suppress)
             if limit == 0:  # pragma: no cover - caller checks first
                 return None
             take = min(take, limit)
@@ -239,24 +256,29 @@ class ChunkedChannel(RdmaChannel):
                 working_set=conn.put_ws_hint or None)
             cur.advance(len(piece))
             off += len(piece)
+        if conn.zc_suppress > 0:
+            conn.zc_suppress = max(0, conn.zc_suppress - take)
         if self.PIPELINED:
             yield from sender.post(index, take, signaled=False)
         else:
             pending_posts.append((index, take))
         return None
 
-    def _bytes_until_zcopy_element(self, cur: IovCursor) -> int:
+    def _bytes_until_zcopy_element(self, cur: IovCursor,
+                                   suppress: int = 0) -> int:
         """Stream bytes before the next element that will go zero-copy
-        (so a DATA chunk never swallows its head)."""
+        (so a DATA chunk never swallows its head).  Elements whose
+        start falls within the first ``suppress`` stream bytes are not
+        zero-copy candidates (post-registration-failure fallback)."""
         total = 0
-        probe = IovCursor([cur.current()]) if False else None
         # walk the remaining elements without disturbing the cursor
         first = True
         i, off = cur._i, cur._off
         while i < len(cur._bufs):
             size = len(cur._bufs[i]) - (off if first else 0)
             at_start = (off == 0) if first else True
-            if at_start and size >= self.ch_cfg.zerocopy_threshold:
+            if (at_start and size >= self.ch_cfg.zerocopy_threshold
+                    and total >= suppress):
                 return total
             total += size
             first = False
@@ -276,9 +298,13 @@ class ChunkedChannel(RdmaChannel):
         for k, (index, take) in enumerate(pending_posts):
             wr = yield from conn.sender.post(index, take,
                                              signaled=(k == last_i))
-        cqe = yield from self.ctx.wait_wr(conn.qp.send_cq, wr)
+        cqe = yield from self.ctx.wait_cq(conn.qp.send_cq)
         if cqe.status is not WcStatus.SUCCESS:
-            raise ChannelError(f"ring write failed: {cqe.status}")
+            # retry exhaustion / flush error: the connection is dead
+            raise ChannelBrokenError(f"ring write failed: {cqe.status}")
+        if cqe.wr_id != wr.wr_id:
+            raise ChannelError(
+                f"expected completion of wr {wr.wr_id}, got {cqe.wr_id}")
         return None
 
     def _start_zcopy_send(self, conn: ChunkedConnection, cur: IovCursor
@@ -289,7 +315,14 @@ class ChunkedChannel(RdmaChannel):
         if sender.slots_free() <= 0:
             return False
         elem = cur.current()  # whole element (cursor at element start)
-        mr = yield from self.regcache.register(elem.addr, len(elem))
+        try:
+            mr = yield from self.regcache.register(elem.addr, len(elem))
+        except RegistrationError:
+            # cannot pin the source: downgrade this element to the
+            # ring (pipelined) path instead of failing the send
+            conn.zc_suppress = len(elem)
+            self.zc_fallbacks += 1
+            return False
         op_id = next(_zc_ids)
         index, payload = sender.build_chunk(
             KIND_RTS, RTS_PAYLOAD, credit=conn.receiver.consumed,
@@ -300,6 +333,20 @@ class ChunkedChannel(RdmaChannel):
         yield from sender.post(index, RTS_PAYLOAD, signaled=False)
         conn.zc_send = ZcopySend(op_id, elem.addr, len(elem), mr)
         return True
+
+    def _handle_zc_nak(self, conn: ChunkedConnection, aux: int
+                       ) -> Generator:
+        """The receiver refused our RTS (it could not register the
+        destination): release the advertised region and force the
+        element through the ring path on the next put."""
+        zc = conn.zc_send
+        if zc is None or zc.op_id != aux:
+            raise ChannelError(f"stray zero-copy NAK {aux}")
+        yield from self.regcache.release(zc.mr)
+        conn.zc_send = None
+        conn.zc_suppress = zc.nbytes
+        self.zc_fallbacks += 1
+        return None
 
     # ------------------------------------------------------------------
     # get
@@ -345,6 +392,9 @@ class ChunkedChannel(RdmaChannel):
                 if conn.zc_send is None or conn.zc_send.op_id != aux:
                     raise ChannelError(f"stray zero-copy ACK {aux}")
                 conn.zc_send.acked = True
+                conn.receiver.consume_chunk()
+            elif kind == KIND_NAK:
+                yield from self._handle_zc_nak(conn, aux)
                 conn.receiver.consume_chunk()
             elif kind == KIND_DATA:
                 if cur.exhausted:
@@ -396,13 +446,28 @@ class ChunkedChannel(RdmaChannel):
         sges = []
         mrs = []
         left = size
-        while left > 0:
-            piece = cur.current(left)
-            mr = yield from self.regcache.register(piece.addr, len(piece))
-            mrs.append(mr)
-            sges.append((piece.addr, len(piece), mr.lkey))
-            cur.advance(len(piece))
-            left -= len(piece)
+        mark = cur.mark()
+        try:
+            while left > 0:
+                piece = cur.current(left)
+                mr = yield from self.regcache.register(piece.addr,
+                                                       len(piece))
+                mrs.append(mr)
+                sges.append((piece.addr, len(piece), mr.lkey))
+                cur.advance(len(piece))
+                left -= len(piece)
+        except RegistrationError:
+            # cannot pin the destination: rewind and NAK the RTS so
+            # the sender streams the element through the ring instead
+            for mr in mrs:
+                yield from self.regcache.release(mr)
+            cur.reset(mark)
+            if conn.sender.slots_free() <= 0:
+                return None  # cannot NAK yet; leave the RTS, retry
+            yield from self._emit_control(conn, KIND_NAK, aux=op_id)
+            recv.consume_chunk()
+            self.zc_nak_sent += 1
+            return None
         # the advanced bytes are NOT counted as consumed yet: they
         # complete when the read finishes (tracked by zc_read)
         cur.consumed -= size
@@ -422,13 +487,16 @@ class ChunkedChannel(RdmaChannel):
             if cqe is None:
                 return False
             yield from self.ctx.cpu.work(self.cfg.cq_poll_cpu)
+            if cqe.status is not WcStatus.SUCCESS:
+                # error completions (retry exhaustion, flushes) may
+                # belong to any posted op: the connection is dead
+                raise ChannelBrokenError(
+                    f"completion error during zero-copy read: "
+                    f"{cqe.status}")
             if cqe.opcode is Opcode.RDMA_READ and cqe.wr_id == zc.wr_id:
-                if cqe.status is not WcStatus.SUCCESS:
-                    raise ChannelError(f"zero-copy read failed: "
-                                       f"{cqe.status}")
                 zc.done = True
                 return True
-            # completions of other (error) ops would land here
+            # successful completions of other ops would land here
             raise ChannelError(f"unexpected completion {cqe}")
 
     def _emit_control(self, conn: ChunkedConnection, kind: int,

@@ -39,8 +39,8 @@ from ...ib.mr import MemoryRegion
 from ...ib.types import WcStatus, WorkRequest
 
 __all__ = ["HDR_SIZE", "TRAILER_SIZE", "SEQ_MOD", "KIND_DATA", "KIND_RTS",
-           "KIND_ACK", "KIND_CREDIT", "RingSender", "RingReceiver",
-           "pack_rts", "unpack_rts", "seq_of"]
+           "KIND_ACK", "KIND_CREDIT", "KIND_NAK", "RingSender",
+           "RingReceiver", "pack_rts", "unpack_rts", "seq_of"]
 
 HDR_SIZE = 16
 TRAILER_SIZE = 1
@@ -50,6 +50,10 @@ KIND_DATA = 1
 KIND_RTS = 2
 KIND_ACK = 3
 KIND_CREDIT = 4
+#: zero-copy negative-ack: the receiver could not register the
+#: destination buffer — the sender must fall back to streaming the
+#: advertised element through the ring (aux = the refused op id).
+KIND_NAK = 5
 
 _RTS_FMT = "<QQQ"  # addr, size, rkey
 RTS_PAYLOAD = struct.calcsize(_RTS_FMT)

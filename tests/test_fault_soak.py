@@ -1,0 +1,40 @@
+"""Soak tier: NAS kernels on a lossy fabric.  The CG and IS kernels
+run at 4 ranks with nonzero drop/delay rates; the RC retransmission
+layer must make the fabric look reliable, so the kernels still verify
+against their serial references."""
+
+import pytest
+
+from repro.config import US
+from repro.faults import FaultPlan, LinkFaults
+from repro.mpi import run_mpi
+from repro.nas import KERNELS
+
+_PLAN = FaultPlan(seed=42, default_link=LinkFaults(
+    drop_rate=0.05, delay_rate=0.05, delay_time=10 * US))
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize("name", ["cg", "is"])
+def test_nas_kernel_verifies_on_lossy_fabric(name):
+    results, _ = run_mpi(4, KERNELS[name], design="zerocopy",
+                         faults=_PLAN, args=("T",))
+    assert all(r.verified for r in results if r is not None)
+
+
+@pytest.mark.soak
+def test_lossy_run_actually_exercised_recovery():
+    """Guard against the soak silently running fault-free."""
+    cluster_stats = {}
+
+    def capture(mpi):
+        result = yield from KERNELS["cg"](mpi, "T")
+        cluster_stats["faults"] = \
+            mpi.device.node.cluster.faults.stats.snapshot()
+        return result
+
+    results, _ = run_mpi(4, capture, design="zerocopy", faults=_PLAN)
+    assert all(r.verified for r in results if r is not None)
+    st = cluster_stats["faults"]
+    assert st["dropped"] > 0
+    assert st["retransmissions"] > 0
