@@ -3,20 +3,69 @@
 Every benchmark regenerates one of the paper's figures through the
 simulated stack, saves the data table under ``benchmarks/results/``,
 prints it, and asserts the figure's qualitative shape.
+
+``bench_recorder`` additionally accumulates machine-readable entries
+(:mod:`repro.obs.gate` schema) and writes ``BENCH_channels.json`` to
+both ``benchmarks/results/`` and the repository root at session end —
+the artifact CI uploads and the regression gate compares against
+``benchmarks/baselines/``.
 """
 
-import os
+import json
 import pathlib
 
 import pytest
 
+from repro.obs import gate as obs_gate
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BASELINE_DIR = pathlib.Path(__file__).parent / "baselines"
 
 
 @pytest.fixture(scope="session")
 def results_dir():
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+class BenchRecorder:
+    """Collects ``repro-bench/1`` entries across a benchmark session."""
+
+    def __init__(self, suite: str = "channels"):
+        self.suite = suite
+        self.entries = []
+
+    def add(self, design, metric, size, value, counters=None):
+        entry = {"design": design, "metric": metric, "size": size,
+                 "value": value}
+        if counters:
+            entry["counters"] = counters
+        self.entries.append(entry)
+        return entry
+
+    def document(self):
+        return obs_gate.make_result(self.suite, self.entries)
+
+    def gate(self, rtol: float = 0.10):
+        """Regression messages vs the committed baseline (None when no
+        baseline has been committed yet)."""
+        baseline = BASELINE_DIR / f"BENCH_{self.suite}.json"
+        return obs_gate.gate_against_baseline(baseline,
+                                              self.document(),
+                                              rtol=rtol)
+
+
+@pytest.fixture(scope="session")
+def bench_recorder(results_dir):
+    rec = BenchRecorder()
+    yield rec
+    if rec.entries:
+        text = json.dumps(rec.document(), indent=2,
+                          sort_keys=True) + "\n"
+        name = f"BENCH_{rec.suite}.json"
+        (results_dir / name).write_text(text)
+        (REPO_ROOT / name).write_text(text)
 
 
 @pytest.fixture

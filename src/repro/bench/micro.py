@@ -82,10 +82,12 @@ def _bandwidth(mpi, size: int, window: int, windows: int, warmup: int):
 def mpi_latency_us(size: int, design: str = "zerocopy",
                    cfg: Optional[HardwareConfig] = None,
                    ch_cfg: Optional[ChannelConfig] = None,
-                   iters: int = 50, warmup: int = 10) -> float:
+                   iters: int = 50, warmup: int = 10,
+                   obs=None) -> float:
     """One-way MPI latency in microseconds."""
     results, _ = run_mpi(2, _pingpong, design=design, cfg=cfg,
-                         ch_cfg=ch_cfg, args=(size, iters, warmup))
+                         ch_cfg=ch_cfg, obs=obs,
+                         args=(size, iters, warmup))
     return results[0] * 1e6
 
 
@@ -93,10 +95,10 @@ def mpi_bandwidth(size: int, design: str = "zerocopy",
                   cfg: Optional[HardwareConfig] = None,
                   ch_cfg: Optional[ChannelConfig] = None,
                   window: int = 16, windows: int = 6,
-                  warmup: int = 1) -> float:
+                  warmup: int = 1, obs=None) -> float:
     """MPI bandwidth in the paper's MB/s (1e6 bytes/s)."""
     results, _ = run_mpi(2, _bandwidth, design=design, cfg=cfg,
-                         ch_cfg=ch_cfg,
+                         ch_cfg=ch_cfg, obs=obs,
                          args=(size, window, windows, warmup))
     return results[0] / MB
 

@@ -21,6 +21,7 @@ from .hw.memory import Buffer, NodeMemory
 from .ib.fabric import Fabric
 from .ib.hca import Hca, QueuePair
 from .ib.verbs import VapiContext
+from .obs import NULL_OBS, Observability
 from .sim.engine import Process, Simulator
 from .sim.fluid import FluidNetwork
 
@@ -38,7 +39,8 @@ class Node:
         self.membus = MemBus(sim, net, cfg, node_id)
         self.cpus = [Cpu(sim, node_id, i) for i in range(ncpus)]
         self.hca = Hca(sim, net, cluster.fabric, cfg, node_id,
-                       self.mem, self.membus, faults=cluster.faults)
+                       self.mem, self.membus, faults=cluster.faults,
+                       obs=cluster.obs)
 
     def vapi(self, cpu_index: int = 0) -> VapiContext:
         """Open a VAPI context bound to one of this node's CPUs."""
@@ -56,7 +58,8 @@ class Cluster:
 
     def __init__(self, nnodes: int, cfg: Optional[HardwareConfig] = None,
                  ncpus_per_node: int = 2,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 obs: Optional[Observability] = None):
         if nnodes < 1:
             raise ValueError("need at least one node")
         self.cfg = cfg or HardwareConfig()
@@ -67,6 +70,9 @@ class Cluster:
         #: (``faults`` may be a FaultPlan or a prebuilt FaultState).
         self.faults = (faults if isinstance(faults, FaultState)
                        else FaultState(faults))
+        #: cluster-wide observability hub (metrics + timeline); the
+        #: default NULL_OBS drops everything at zero simulated cost.
+        self.obs = obs if obs is not None else NULL_OBS
         self.nodes: List[Node] = [
             Node(self, i, ncpus_per_node) for i in range(nnodes)
         ]
@@ -93,10 +99,13 @@ class Cluster:
 
 
 def build_cluster(nnodes: int, cfg: Optional[HardwareConfig] = None,
-                  faults: Optional[FaultPlan] = None, **kw) -> Cluster:
+                  faults: Optional[FaultPlan] = None,
+                  obs: Optional[Observability] = None, **kw) -> Cluster:
     """Construct a cluster modelled on the paper's testbed (§4.1).
 
     ``faults`` (a :class:`repro.faults.FaultPlan`) makes the fabric
     imperfect in a deterministic, seed-driven way; omitted or empty,
-    the cluster behaves exactly as before."""
-    return Cluster(nnodes, cfg, faults=faults, **kw)
+    the cluster behaves exactly as before.  ``obs`` (a
+    :class:`repro.obs.Observability`) records per-layer counters and
+    timeline spans without perturbing simulated time."""
+    return Cluster(nnodes, cfg, faults=faults, obs=obs, **kw)

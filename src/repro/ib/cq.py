@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Generator, List, Optional
 
+from ..obs import NULL_METRICS
 from ..sim.engine import Simulator
 from ..sim.sync import Gate
 from .types import Completion, WcStatus
@@ -25,7 +26,8 @@ class CQOverflowError(Exception):
 
 
 class CompletionQueue:
-    def __init__(self, sim: Simulator, depth: int = 4096, name: str = ""):
+    def __init__(self, sim: Simulator, depth: int = 4096, name: str = "",
+                 metrics=None):
         if depth < 1:
             raise ValueError("CQ depth must be >= 1")
         self.sim = sim
@@ -37,6 +39,12 @@ class CompletionQueue:
         #: CQEs pushed with a non-SUCCESS status (error observability
         #: for the layers above and for the fault-injection tests).
         self.error_completions = 0
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_completions = m.counter("completions")
+        self._m_errors = m.counter("error_completions")
+        #: how many CQEs each poll/poll_many call drains — the paper's
+        #: progress engines batch better under load, and this shows it.
+        self._m_poll_depth = m.histogram("poll_depth")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -51,21 +59,26 @@ class CompletionQueue:
         cqe.timestamp = self.sim.now
         self._entries.append(cqe)
         self.completions_generated += 1
+        self._m_completions.inc()
         if cqe.status is not WcStatus.SUCCESS:
             self.error_completions += 1
+            self._m_errors.inc()
         self._gate.open()
 
     # -- consumer side ----------------------------------------------------
     def poll(self) -> Optional[Completion]:
         """Non-blocking poll; returns one CQE or None."""
         if self._entries:
+            self._m_poll_depth.observe(1)
             return self._entries.popleft()
+        self._m_poll_depth.observe(0)
         return None
 
     def poll_many(self, max_entries: int) -> List[Completion]:
         out = []
         while self._entries and len(out) < max_entries:
             out.append(self._entries.popleft())
+        self._m_poll_depth.observe(len(out))
         return out
 
     def wait(self) -> Generator:

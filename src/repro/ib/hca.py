@@ -48,6 +48,7 @@ from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 from ..config import HardwareConfig
 from ..hw.membus import MemBus
 from ..hw.memory import NodeMemory
+from ..obs import NULL_OBS
 from ..sim.engine import Event, Simulator
 from ..sim.fluid import FluidNetwork, FluidResource
 from ..sim.sync import Gate, Resource, Store
@@ -102,6 +103,20 @@ class QueuePair:
         self._rq: Deque[RecvRequest] = deque()
         self._engine = None  # lazily started send-engine process
         self.outstanding_send_wqes = 0
+        # -- per-QP observability (no-ops unless the cluster carries
+        # an enabled registry; never yields into the simulator) -------
+        m = hca.mscope.scope(f"qp{self.qpn}")
+        self._m_send_ops = m.counter("send_ops")
+        self._m_send_bytes = m.counter("send_bytes")
+        self._m_recv_ops = m.counter("recv_ops")
+        self._m_recv_bytes = m.counter("recv_bytes")
+        self._m_write_ops = m.counter("rdma_write_ops")
+        self._m_write_bytes = m.counter("rdma_write_bytes")
+        self._m_read_ops = m.counter("rdma_read_ops")
+        self._m_read_bytes = m.counter("rdma_read_bytes")
+        self._m_atomic_ops = m.counter("atomic_ops")
+        self._m_retrans = m.counter("retransmissions")
+        self._m_flushes = m.counter("flushes")
         # -- RC recovery state (used only under fault injection) -------
         #: next packet sequence number this QP assigns to a WQE.
         self.psn = 0
@@ -167,6 +182,7 @@ class QueuePair:
             if self.error:
                 # QP in error state: flush queued descriptors without
                 # executing them (IB semantics after a fatal error).
+                self._m_flushes.inc()
                 self._complete(wr, WcStatus.WR_FLUSH_ERR, 0)
                 self.outstanding_send_wqes -= 1
                 continue
@@ -222,17 +238,25 @@ class QueuePair:
             rmr.check_remote(wr.remote_addr, nbytes, Access.REMOTE_WRITE)
             self.hca.stats.rdma_writes += 1
             self.hca.stats.bytes_written += nbytes
+            self._m_write_ops.inc()
+            self._m_write_bytes.inc(nbytes)
         else:
             self.hca.stats.sends += 1
             self.hca.stats.bytes_sent += nbytes
+            self._m_send_ops.inc()
+            self._m_send_bytes.inc(nbytes)
 
         # DMA setup + data drain (serializes this QP's next WQE: RC
         # ordering on the wire).
+        t0 = sim.now
         yield sim.timeout(cfg.pci_latency)
         if nbytes:
             route = self.hca.dma_route_to(remote.hca)
             yield self.hca.net.transfer(nbytes, route,
                                         label=f"qp{self.qpn}.{wr.opcode.value}")
+        self.hca.timeline.span(
+            f"node{self.hca.node_id}.hca", wr.opcode.value, t0, sim.now,
+            cat="rdma", args={"bytes": nbytes, "qp": self.qpn})
         # Remote landing: propagation + PCI + placement happen after the
         # drain and overlap the next WQE.
         sim.spawn(self._deliver(wr, payload, remote),
@@ -268,6 +292,8 @@ class QueuePair:
                     break
                 remote.hca.mem.write(sge.addr, payload[off:off + take])
                 off += take
+            remote._m_recv_ops.inc()
+            remote._m_recv_bytes.inc(nbytes)
             remote.recv_cq.push(Completion(
                 wr_id=rr.wr_id, status=WcStatus.SUCCESS,
                 opcode=Opcode.RECV, byte_len=nbytes, qp_num=remote.qpn))
@@ -288,6 +314,7 @@ class QueuePair:
         remote = self.remote
         assert remote is not None
         nbytes = wr.total_length
+        t0 = sim.now
         # local scatter target validation
         for sge in wr.sges:
             self.hca.pd.lookup_lkey(sge.lkey).check_local(sge.addr,
@@ -320,6 +347,11 @@ class QueuePair:
                 off += sge.length
         self.hca.stats.rdma_reads += 1
         self.hca.stats.bytes_read += nbytes
+        self._m_read_ops.inc()
+        self._m_read_bytes.inc(nbytes)
+        self.hca.timeline.span(
+            f"node{self.hca.node_id}.hca", "rdma_read", t0, sim.now,
+            cat="rdma", args={"bytes": nbytes, "qp": self.qpn})
         self.hca.inbound_gate.open()
         self._complete(wr, WcStatus.SUCCESS, nbytes)
 
@@ -366,6 +398,7 @@ class QueuePair:
         yield sim.timeout(cfg.pci_latency + cfg.hca_recv_processing)
         self.hca.mem.write(sge.addr, old_raw)
         self.hca.stats.atomics += 1
+        self._m_atomic_ops.inc()
         self.hca.inbound_gate.open()
         self._complete(wr, WcStatus.SUCCESS, 8)
 
@@ -417,9 +450,13 @@ class QueuePair:
             rmr.check_remote(wr.remote_addr, nbytes, Access.REMOTE_WRITE)
             self.hca.stats.rdma_writes += 1
             self.hca.stats.bytes_written += nbytes
+            self._m_write_ops.inc()
+            self._m_write_bytes.inc(nbytes)
         else:
             self.hca.stats.sends += 1
             self.hca.stats.bytes_sent += nbytes
+            self._m_send_ops.inc()
+            self._m_send_bytes.inc(nbytes)
 
         psn = self.psn
         self.psn += 1
@@ -427,11 +464,18 @@ class QueuePair:
         for attempt in range(cfg.rc_retry_cnt + 1):
             if attempt:
                 faults.stats.retransmissions += 1
+                self._m_retrans.inc()
+            t0 = sim.now
             yield sim.timeout(cfg.pci_latency)
             if nbytes:
                 route = self.hca.dma_route_to(remote.hca)
                 yield self.hca.net.transfer(
                     nbytes, route, label=f"qp{self.qpn}.{wr.opcode.value}")
+            self.hca.timeline.span(
+                f"node{self.hca.node_id}.hca", wr.opcode.value, t0,
+                sim.now, cat="rdma",
+                args={"bytes": nbytes, "qp": self.qpn,
+                      "attempt": attempt})
             ack = sim.event()
             sim.spawn(self._deliver_rc(wr, payload, crc, remote, psn, ack),
                       name=f"qp{self.qpn}.deliver_rc")
@@ -500,6 +544,8 @@ class QueuePair:
                         remote.hca.mem.write(sge.addr,
                                              payload[off:off + take])
                         off += take
+                    remote._m_recv_ops.inc()
+                    remote._m_recv_bytes.inc(nbytes)
                     remote.recv_cq.push(Completion(
                         wr_id=rr.wr_id, status=WcStatus.SUCCESS,
                         opcode=Opcode.RECV, byte_len=nbytes,
@@ -533,6 +579,7 @@ class QueuePair:
         rmr = remote.hca.pd.lookup_rkey(wr.rkey)
         rmr.check_remote(wr.remote_addr, nbytes, Access.REMOTE_READ)
         self.psn += 1
+        t0 = sim.now
         # a read is idempotent: on timeout the whole request/response
         # exchange is simply reissued — no dedup needed at the
         # responder, and the timeout budget covers both legs plus the
@@ -540,6 +587,7 @@ class QueuePair:
         for attempt in range(cfg.rc_retry_cnt + 1):
             if attempt:
                 faults.stats.retransmissions += 1
+                self._m_retrans.inc()
             done = sim.event()
             sim.spawn(self._read_exchange_rc(wr, remote, nbytes, done),
                       name=f"qp{self.qpn}.read_rc")
@@ -557,6 +605,11 @@ class QueuePair:
                 off += sge.length
         self.hca.stats.rdma_reads += 1
         self.hca.stats.bytes_read += nbytes
+        self._m_read_ops.inc()
+        self._m_read_bytes.inc(nbytes)
+        self.hca.timeline.span(
+            f"node{self.hca.node_id}.hca", "rdma_read", t0, sim.now,
+            cat="rdma", args={"bytes": nbytes, "qp": self.qpn})
         self.hca.inbound_gate.open()
         self._complete(wr, WcStatus.SUCCESS, nbytes)
 
@@ -616,6 +669,7 @@ class QueuePair:
         for attempt in range(cfg.rc_retry_cnt + 1):
             if attempt:
                 faults.stats.retransmissions += 1
+                self._m_retrans.inc()
             done = sim.event()
             sim.spawn(self._atomic_exchange_rc(wr, remote, psn, done),
                       name=f"qp{self.qpn}.atomic_rc")
@@ -628,6 +682,7 @@ class QueuePair:
             return
         self.hca.mem.write(sge.addr, old_raw)
         self.hca.stats.atomics += 1
+        self._m_atomic_ops.inc()
         self.hca.inbound_gate.open()
         self._complete(wr, WcStatus.SUCCESS, 8)
 
@@ -702,7 +757,7 @@ class Hca:
 
     def __init__(self, sim: Simulator, net: FluidNetwork, fabric: Fabric,
                  cfg: HardwareConfig, node_id: int, mem: NodeMemory,
-                 membus: MemBus, faults=None):
+                 membus: MemBus, faults=None, obs=None):
         self.sim = sim
         self.net = net
         self.fabric = fabric
@@ -710,6 +765,12 @@ class Hca:
         self.node_id = node_id
         self.mem = mem
         self.membus = membus
+        #: observability hub; counters/spans are pure bookkeeping that
+        #: never yields, so the event sequence is identical on or off.
+        self.obs = obs if obs is not None else NULL_OBS
+        self.mscope = self.obs.metrics.scope(f"ib.node{node_id}")
+        self.timeline = self.obs.timeline
+        self._cq_counter = itertools.count()
         if faults is None:
             # local import: repro.faults is import-light, but importing
             # it at module scope would cycle through repro.ib.__init__.
@@ -728,8 +789,9 @@ class Hca:
         fabric.attach(node_id)
 
     def create_cq(self, depth: int = 4096, name: str = "") -> CompletionQueue:
-        return CompletionQueue(self.sim, depth,
-                               name or f"cq[{self.node_id}]")
+        return CompletionQueue(
+            self.sim, depth, name or f"cq[{self.node_id}]",
+            metrics=self.mscope.scope(f"cq{next(self._cq_counter)}"))
 
     def create_qp(self, send_cq: CompletionQueue,
                   recv_cq: Optional[CompletionQueue] = None,

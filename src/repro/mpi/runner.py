@@ -85,6 +85,9 @@ class World:
         self.nranks = nranks
         self.design = design
         self.devices = devices
+        #: the observability hub this world was built with (NULL_OBS
+        #: unless one was passed to build_world/run_mpi)
+        self.obs = cluster.obs
         self.contexts = [MpiContext(self, r, devices[r])
                          for r in range(nranks)]
 
@@ -105,10 +108,13 @@ def build_world(nranks: int, design: str = "zerocopy",
                 cfg: Optional[HardwareConfig] = None,
                 ch_cfg: Optional[ChannelConfig] = None,
                 nnodes: Optional[int] = None,
-                faults: Optional[FaultPlan] = None) -> World:
+                faults: Optional[FaultPlan] = None,
+                obs=None) -> World:
     """Construct a world: ranks round-robin over nodes (default one
     rank per node, like the paper's runs).  ``faults`` injects
-    deterministic fabric/HCA faults (see :mod:`repro.faults`)."""
+    deterministic fabric/HCA faults (see :mod:`repro.faults`);
+    ``obs`` (a :class:`repro.obs.Observability`) records per-layer
+    counters and timeline spans for the run."""
     if design not in DESIGNS:
         raise ValueError(f"unknown design {design!r}; pick from "
                          f"{DESIGNS}")
@@ -120,7 +126,7 @@ def build_world(nranks: int, design: str = "zerocopy",
     nnodes = nnodes or nranks
     if nnodes > nranks:
         nnodes = nranks
-    cluster = build_cluster(nnodes, cfg, faults=faults,
+    cluster = build_cluster(nnodes, cfg, faults=faults, obs=obs,
                             ncpus_per_node=max(2, -(-nranks // nnodes)))
 
     if design == "ch3":
@@ -159,6 +165,7 @@ def run_mpi(nranks: int, prog: Callable, *,
             ch_cfg: Optional[ChannelConfig] = None,
             nnodes: Optional[int] = None,
             faults: Optional[FaultPlan] = None,
+            obs=None,
             args: Sequence = (),
             until: Optional[float] = None) -> Tuple[List, float]:
     """Run ``prog(mpi, *args)`` on ``nranks`` ranks; returns
@@ -167,7 +174,8 @@ def run_mpi(nranks: int, prog: Callable, *,
     ``prog`` must be a generator function; all MPI calls inside use
     ``yield from`` (see the examples/ directory).
     """
-    world = build_world(nranks, design, cfg, ch_cfg, nnodes, faults)
+    world = build_world(nranks, design, cfg, ch_cfg, nnodes, faults,
+                        obs=obs)
     procs = [world.cluster.spawn(prog(ctx, *args), f"rank{ctx.rank}")
              for ctx in world.contexts]
     world.cluster.run(until)

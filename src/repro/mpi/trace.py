@@ -1,148 +1,32 @@
-"""Message tracing: record every point-to-point message's lifecycle.
+"""Deprecated shim — the message tracer moved to
+:mod:`repro.obs.msgtrace`.
 
-Attach a :class:`Tracer` to a world before running and get a timeline
-of (send-posted, matched, completed) events per message — the kind of
-instrumentation (à la MPE/jumpshot for MPICH) that lets you *see* the
-eager/rendezvous behaviour and unexpected-queue hits the paper's
-designs differ on.
+The old API keeps working::
 
-    world = build_world(4, "zerocopy")
-    tracer = Tracer.attach(world)
-    ... run ...
-    for rec in tracer.messages:
-        print(rec)
+    tracer = Tracer.attach(world)   # emits a DeprecationWarning
+
+but new code should use :class:`repro.obs.msgtrace.MessageTracer`,
+which additionally lands delivered messages on the observability
+timeline (Chrome-trace export) when the world carries an enabled
+:class:`repro.obs.Observability` hub.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
 
-from ..mpich2 import ch3 as _ch3
-from ..mpich2.adi3 import Request
+from ..obs.msgtrace import MessageRecord, MessageTracer
 
 __all__ = ["Tracer", "MessageRecord"]
 
 
-@dataclass
-class MessageRecord:
-    src: int
-    dst: int
-    tag: int
-    context: int
-    size: int
-    t_posted: float          # sender: isend entered the device
-    t_sent: Optional[float] = None      # send request completed
-    t_delivered: Optional[float] = None  # receive request completed
-    unexpected: bool = False  # arrived before its receive was posted
-
-    @property
-    def latency(self) -> Optional[float]:
-        if self.t_delivered is None:
-            return None
-        return self.t_delivered - self.t_posted
-
-    def __repr__(self) -> str:
-        lat = f"{self.latency * 1e6:.2f}us" if self.latency else "?"
-        flag = " (unexpected)" if self.unexpected else ""
-        return (f"<msg {self.src}->{self.dst} tag={self.tag} "
-                f"{self.size}B lat={lat}{flag}>")
-
-
-class Tracer:
-    """Hooks the CH3 devices of a world (idempotent per world)."""
-
-    def __init__(self, world):
-        self.world = world
-        self.messages: List[MessageRecord] = []
-        #: (src, dst, tag, context) -> FIFO of unmatched send records
-        self._open: Dict[tuple, List[MessageRecord]] = {}
+class Tracer(MessageTracer):
+    """Backwards-compatible alias of :class:`MessageTracer`."""
 
     @classmethod
-    def attach(cls, world) -> "Tracer":
-        tracer = cls(world)
-        for dev in world.devices:
-            tracer._wrap_device(dev)
-        return tracer
-
-    def _now(self) -> float:
-        return self.world.sim.now
-
-    def _wrap_device(self, dev) -> None:
-        tracer = self
-        orig_isend = dev.isend
-        orig_begin_eager = dev._begin_eager
-        orig_finish = dev._finish_inflight
-        orig_send_done = dev._send_op_complete
-        by_req: Dict[int, MessageRecord] = {}
-
-        def isend(iov, dest, tag, context):
-            from ..mpich2.channels.base import iov_total
-            rec = MessageRecord(dev.rank, dest, tag, context,
-                                iov_total(iov), tracer._now())
-            tracer.messages.append(rec)
-            key = (dev.rank, dest, tag, context)
-            tracer._open.setdefault(key, []).append(rec)
-            req = yield from orig_isend(iov, dest, tag, context)
-            if req.done:           # fast path already completed
-                rec.t_sent = tracer._now()
-            else:
-                by_req[req.req_id] = rec
-            return req
-
-        def _send_op_complete(st, op):
-            if op.req is not None:
-                rec = by_req.pop(op.req.req_id, None)
-                if rec is not None:
-                    rec.t_sent = tracer._now()
-            return orig_send_done(st, op)
-
-        dev._send_op_complete = _send_op_complete
-
-        def _begin_eager(st, src, tag, context, size):
-            result = orig_begin_eager(st, src, tag, context, size)
-            msg = st.inflight
-            if msg is not None and msg.u is not None:
-                key = (src, dev.rank, tag, context)
-                fifo = tracer._open.get(key)
-                if fifo:
-                    fifo[0].unexpected = True
-            return result
-
-        def _finish_inflight(st):
-            msg = st.inflight
-            if msg is not None:
-                src, tag, context, _size = msg.env
-                key = (src, dev.rank, tag, context)
-                fifo = tracer._open.get(key)
-                if fifo:
-                    rec = fifo.pop(0)
-                    rec.t_delivered = tracer._now()
-            result = yield from orig_finish(st)
-            return result
-
-        dev.isend = isend
-        dev._begin_eager = _begin_eager
-        dev._finish_inflight = _finish_inflight
-
-    # -- analysis helpers --------------------------------------------------
-    def delivered(self) -> List[MessageRecord]:
-        return [m for m in self.messages if m.t_delivered is not None]
-
-    def unexpected_fraction(self) -> float:
-        d = self.delivered()
-        if not d:
-            return 0.0
-        return sum(1 for m in d if m.unexpected) / len(d)
-
-    def summary(self) -> str:
-        d = self.delivered()
-        if not d:
-            return "no delivered messages traced"
-        lats = sorted(m.latency for m in d)
-        total = sum(m.size for m in d)
-        mid = lats[len(lats) // 2]
-        return (f"{len(d)} messages, {total} bytes; latency "
-                f"min={lats[0] * 1e6:.2f}us median={mid * 1e6:.2f}us "
-                f"max={lats[-1] * 1e6:.2f}us; "
-                f"{self.unexpected_fraction():.0%} unexpected")
+    def attach(cls, world, timeline=None) -> "Tracer":
+        warnings.warn(
+            "repro.mpi.trace.Tracer is deprecated; use "
+            "repro.obs.msgtrace.MessageTracer instead",
+            DeprecationWarning, stacklevel=2)
+        return super().attach(world, timeline)

@@ -153,6 +153,11 @@ class Ch3Device(Adi3Device):
         self.unexpected: List[_Unexpected] = []
         self.eager_sent = 0
         self.messages_received = 0
+        m = channel.obs.metrics.scope(f"rank{rank}.ch3")
+        self._m_eager = m.counter("eager_decisions")
+        self._m_rndv = m.counter("rndv_decisions")
+        self._m_unexpected = m.counter("unexpected_arrivals")
+        self._m_unexpected_depth = m.gauge("unexpected_depth")
 
     def attach_connections(self) -> None:
         """Wire up per-connection state once the channel mesh exists."""
@@ -173,6 +178,7 @@ class Ch3Device(Adi3Device):
         yield from self.channel.ctx.cpu.work(self.cfg.ch3_packet_overhead)
         req = Request("send")
         size = iov_total(iov)
+        self._m_eager.inc()
         self._enqueue_packet(dest, PKT_EAGER, tag, context, size,
                              [b for b in iov if len(b)], req=req)
         yield from self._progress_send(self.conn_state[dest])
@@ -394,6 +400,8 @@ class Ch3Device(Adi3Device):
         buf = self.node.alloc(size, "ch3.unexpected") if size else None
         u = _Unexpected(env, buf)
         self.unexpected.append(u)
+        self._m_unexpected.inc()
+        self._m_unexpected_depth.set(len(self.unexpected))
         st.inflight = _Inflight(env, [buf] if buf else [], u=u)
 
     def _match_posted(self, src: int, tag: int,

@@ -103,6 +103,7 @@ class Ch3RdmaDevice(Ch3Device):
         self._enqueue_packet(dest, PKT_RNDV_RTS, tag, context, size,
                              [], sreq=req.req_id)
         self.rndv_started += 1
+        self._m_rndv.inc()
         yield from self._progress_send(self.conn_state[dest])
         return req
 
@@ -167,6 +168,8 @@ class Ch3RdmaDevice(Ch3Device):
                                             pr.req)
             else:
                 self.unexpected.append(_UnexpectedRts(env, sreq, src))
+                self._m_unexpected.inc()
+                self._m_unexpected_depth.set(len(self.unexpected))
             return None
         if kind == PKT_RNDV_CTS:
             # the 16-byte payload follows in the stream

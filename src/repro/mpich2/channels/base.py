@@ -195,6 +195,11 @@ class RdmaChannel(abc.ABC):
         self.ch_cfg = ch_cfg
         self.conns: Dict[int, Connection] = {}
         self.finalized = False
+        #: cluster-wide observability hub (NULL_OBS unless the run was
+        #: built with an enabled one); every design shares this wiring.
+        self.obs = node.cluster.obs
+        self.metrics = self.obs.metrics.scope(f"rank{rank}.channel")
+        self.timeline = self.obs.timeline
 
     # -- the five functions --------------------------------------------
     def initialize(self, world_size: int) -> None:

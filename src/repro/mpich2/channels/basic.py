@@ -67,6 +67,15 @@ class BasicConnection(Connection):
 class BasicChannel(RdmaChannel):
     name = "basic"
 
+    def __init__(self, rank, node, ctx, cfg, ch_cfg):
+        super().__init__(rank, node, ctx, cfg, ch_cfg)
+        m = self.metrics
+        self._m_data_writes = m.counter("data_writes")
+        self._m_data_bytes = m.counter("data_bytes")
+        self._m_head_updates = m.counter("head_updates")
+        self._m_tail_updates = m.counter("tail_updates")
+        self._m_wire_bytes = m.counter("wire_bytes")
+
     @classmethod
     def establish(cls, a: "BasicChannel", b: "BasicChannel") -> None:
         if a.rank == b.rank:
@@ -153,6 +162,7 @@ class BasicChannel(RdmaChannel):
         cur = IovCursor(iov)
         start = conn.head % ring_size
         copied = 0
+        t0 = self.ctx.sim.now
         while copied < n:
             pos = (start + copied) % ring_size
             run = min(n - copied, ring_size - pos)
@@ -163,6 +173,9 @@ class BasicChannel(RdmaChannel):
                 working_set=None)
             cur.advance(run)
             copied += run
+        self.timeline.span(f"rank{self.rank}", "copy_to_staging",
+                           t0, self.ctx.sim.now, cat="memcpy",
+                           args={"bytes": n})
 
         # 3. "Use RDMA write operation to write the data to the buffer
         #    at the receiver side."  (two writes when wrapping)
@@ -171,11 +184,15 @@ class BasicChannel(RdmaChannel):
             conn,
             [(conn.staging.addr + start, first, conn.staging_mr.lkey)],
             conn.remote_ring_addr + start, conn.remote_ring_rkey)
+        self._m_data_writes.inc()
         if n - first > 0:
             yield from self._sync_write(
                 conn,
                 [(conn.staging.addr, n - first, conn.staging_mr.lkey)],
                 conn.remote_ring_addr, conn.remote_ring_rkey)
+            self._m_data_writes.inc()
+        self._m_data_bytes.inc(n)
+        self._m_wire_bytes.inc(n)
 
         # 4. "Adjust the head pointer based on the amount of data
         #    written."
@@ -188,6 +205,8 @@ class BasicChannel(RdmaChannel):
             conn,
             [(conn.head_slot.addr, _PTR_SIZE, conn.head_slot_mr.lkey)],
             conn.remote_head_addr, conn.remote_head_rkey)
+        self._m_head_updates.inc()
+        self._m_wire_bytes.inc(_PTR_SIZE)
 
         # 6. "Return the number of bytes written."
         return n
@@ -208,6 +227,7 @@ class BasicChannel(RdmaChannel):
         cur = IovCursor(iov)
         start = conn.tail % ring_size
         copied = 0
+        t0 = self.ctx.sim.now
         while copied < n:
             pos = (start + copied) % ring_size
             run = min(n - copied, ring_size - pos)
@@ -218,6 +238,9 @@ class BasicChannel(RdmaChannel):
                 working_set=None)
             cur.advance(run)
             copied += run
+        self.timeline.span(f"rank{self.rank}", "copy_from_ring",
+                           t0, self.ctx.sim.now, cat="memcpy",
+                           args={"bytes": n})
 
         # 3. "Adjust the tail pointer."
         conn.tail += n
@@ -233,6 +256,8 @@ class BasicChannel(RdmaChannel):
             [(conn.tail_slot.addr, _PTR_SIZE, conn.tail_slot_mr.lkey)],
             conn.remote_tail_addr, conn.remote_tail_rkey,
             signaled=False)
+        self._m_tail_updates.inc()
+        self._m_wire_bytes.inc(_PTR_SIZE)
 
         # 5. "Return the number of bytes successfully read."
         return n

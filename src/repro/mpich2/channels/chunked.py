@@ -93,7 +93,8 @@ class ChunkedChannel(RdmaChannel):
         super().__init__(rank, node, ctx, cfg, ch_cfg)
         self.regcache = RegistrationCache(
             ctx, capacity=ch_cfg.regcache_capacity,
-            enabled=ch_cfg.registration_cache)
+            enabled=ch_cfg.registration_cache,
+            metrics=self.obs.metrics.scope(f"rank{rank}.regcache"))
         self.nslots = ch_cfg.ring_size // ch_cfg.chunk_size
         #: zero-copy sends downgraded to the ring path because *our*
         #: registration failed
@@ -101,6 +102,23 @@ class ChunkedChannel(RdmaChannel):
         #: RTS advertisements we refused (receiver-side registration
         #: failure) with a NAK chunk
         self.zc_nak_sent = 0
+        m = self.metrics
+        self._m_piggy_tail = m.counter("piggybacked_tail_updates")
+        self._m_bytes_streamed = m.counter("bytes_streamed")
+        self._m_bytes_delivered = m.counter("bytes_delivered")
+        self._m_zc_rts = m.counter("zc_rts_sent")
+        self._m_zc_ack = m.counter("zc_ack_sent")
+        self._m_zc_nak = m.counter("zc_nak_sent")
+        self._m_zc_fallbacks = m.counter("zc_fallbacks")
+        self._m_zc_bytes_read = m.counter("zc_bytes_read")
+
+    def _note_piggyback(self, conn: "ChunkedConnection") -> None:
+        """A chunk we are posting carries the current tail pointer in
+        its credit field; count it when it communicates fresh
+        consumption (the §4.3 piggybacked update)."""
+        if conn.receiver.consumed > conn.receiver.credit_sent:
+            self._m_piggy_tail.inc()
+        conn.receiver.credit_sent = conn.receiver.consumed
 
     # ------------------------------------------------------------------
     # establish: rings, staging, QPs, out-of-band exchange
@@ -147,14 +165,16 @@ class ChunkedChannel(RdmaChannel):
             conn_s.sender = RingSender(src.ctx, qp_s, staging, staging_mr,
                                        ring.addr, ring_mr.rkey,
                                        nslots, chunk,
-                                       credit_slot=credit_slot)
+                                       credit_slot=credit_slot,
+                                       metrics=src.metrics)
             conn_d.receiver = RingReceiver(
                 ring, ring_mr, nslots, chunk, threshold,
                 ctx=dst.ctx, qp=qp_d,
                 credit_staging=credit_staging,
                 credit_staging_mr=credit_staging_mr,
                 remote_credit_addr=credit_slot.addr,
-                remote_credit_rkey=credit_slot_mr.rkey)
+                remote_credit_rkey=credit_slot_mr.rkey,
+                metrics=dst.metrics)
 
         a.conns[b.rank] = conn_a
         b.conns[a.rank] = conn_b
@@ -246,8 +266,9 @@ class ChunkedChannel(RdmaChannel):
             take = min(take, limit)
         index, payload = sender.build_chunk(
             KIND_DATA, take, credit=conn.receiver.consumed)
-        conn.receiver.credit_sent = conn.receiver.consumed  # piggybacked
+        self._note_piggyback(conn)
         yield from self.ctx.cpu.work(self.cfg.chunk_overhead_cpu)
+        t0 = self.ctx.sim.now
         off = 0
         while off < take:
             piece = cur.current(take - off)
@@ -256,6 +277,10 @@ class ChunkedChannel(RdmaChannel):
                 working_set=conn.put_ws_hint or None)
             cur.advance(len(piece))
             off += len(piece)
+        self.timeline.span(f"rank{self.rank}", "copy_to_staging",
+                           t0, self.ctx.sim.now, cat="memcpy",
+                           args={"bytes": take})
+        self._m_bytes_streamed.inc(take)
         if conn.zc_suppress > 0:
             conn.zc_suppress = max(0, conn.zc_suppress - take)
         if self.PIPELINED:
@@ -322,16 +347,18 @@ class ChunkedChannel(RdmaChannel):
             # ring (pipelined) path instead of failing the send
             conn.zc_suppress = len(elem)
             self.zc_fallbacks += 1
+            self._m_zc_fallbacks.inc()
             return False
         op_id = next(_zc_ids)
         index, payload = sender.build_chunk(
             KIND_RTS, RTS_PAYLOAD, credit=conn.receiver.consumed,
             aux=op_id)
-        conn.receiver.credit_sent = conn.receiver.consumed
+        self._note_piggyback(conn)
         yield from self.ctx.cpu.work(self.cfg.chunk_overhead_cpu)
         payload.write(pack_rts(elem.addr, len(elem), mr.rkey))
         yield from sender.post(index, RTS_PAYLOAD, signaled=False)
         conn.zc_send = ZcopySend(op_id, elem.addr, len(elem), mr)
+        self._m_zc_rts.inc()
         return True
 
     def _handle_zc_nak(self, conn: ChunkedConnection, aux: int
@@ -346,6 +373,7 @@ class ChunkedChannel(RdmaChannel):
         conn.zc_send = None
         conn.zc_suppress = zc.nbytes
         self.zc_fallbacks += 1
+        self._m_zc_fallbacks.inc()
         return None
 
     # ------------------------------------------------------------------
@@ -418,6 +446,7 @@ class ChunkedChannel(RdmaChannel):
         avail = plen - recv.payload_off
         src = recv.payload_buffer(plen)
         moved = 0
+        t0 = self.ctx.sim.now
         while avail > 0 and not cur.exhausted:
             piece = cur.current(avail)
             yield from self.node.membus.memcpy(
@@ -426,6 +455,11 @@ class ChunkedChannel(RdmaChannel):
             cur.advance(len(piece))
             moved += len(piece)
             avail -= len(piece)
+        if moved:
+            self.timeline.span(f"rank{self.rank}", "copy_from_ring",
+                               t0, self.ctx.sim.now, cat="memcpy",
+                               args={"bytes": moved})
+        self._m_bytes_delivered.inc(moved)
         recv.payload_off += moved
         if recv.payload_off == plen:
             recv.consume_chunk()
@@ -467,6 +501,7 @@ class ChunkedChannel(RdmaChannel):
             yield from self._emit_control(conn, KIND_NAK, aux=op_id)
             recv.consume_chunk()
             self.zc_nak_sent += 1
+            self._m_zc_nak.inc()
             return None
         # the advanced bytes are NOT counted as consumed yet: they
         # complete when the read finishes (tracked by zc_read)
@@ -474,6 +509,7 @@ class ChunkedChannel(RdmaChannel):
         wr = yield from self.ctx.rdma_read(
             conn.qp, sges, raddr, rkey, signaled=True)
         conn.zc_read = ZcopyRead(op_id, size, wr.wr_id, mrs)
+        self._m_zc_bytes_read.inc(size)
         recv.consume_chunk()
         return None
 
@@ -503,9 +539,11 @@ class ChunkedChannel(RdmaChannel):
                       aux: int = 0) -> Generator:
         index, _payload = conn.sender.build_chunk(
             kind, 0, credit=conn.receiver.consumed, aux=aux)
-        conn.receiver.credit_sent = conn.receiver.consumed
+        self._note_piggyback(conn)
         yield from self.ctx.cpu.work(self.cfg.chunk_overhead_cpu)
         yield from conn.sender.post(index, 0, signaled=False)
+        if kind == KIND_ACK:
+            self._m_zc_ack.inc()
         return None
 
     def _maybe_credit(self, conn: ChunkedConnection) -> Generator:

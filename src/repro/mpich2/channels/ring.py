@@ -37,6 +37,7 @@ from typing import Generator, Optional, Tuple
 from ...hw.memory import Buffer
 from ...ib.mr import MemoryRegion
 from ...ib.types import WcStatus, WorkRequest
+from ...obs import NULL_METRICS
 
 __all__ = ["HDR_SIZE", "TRAILER_SIZE", "SEQ_MOD", "KIND_DATA", "KIND_RTS",
            "KIND_ACK", "KIND_CREDIT", "KIND_NAK", "RingSender",
@@ -84,7 +85,8 @@ class RingSender:
 
     def __init__(self, ctx, qp, staging: Buffer, staging_mr: MemoryRegion,
                  remote_base: int, remote_rkey: int, nslots: int,
-                 chunk_size: int, credit_slot: Buffer = None):
+                 chunk_size: int, credit_slot: Buffer = None,
+                 metrics=None):
         assert nslots % SEQ_MOD != 0, "slot count aliases the seq space"
         self.ctx = ctx
         self.qp = qp
@@ -102,6 +104,11 @@ class RingSender:
         self.credit_slot = credit_slot
         self.max_payload = chunk_size - HDR_SIZE - TRAILER_SIZE
         self.chunks_sent = 0
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_chunks_sent = m.counter("chunks_sent")
+        self._m_bytes_posted = m.counter("bytes_posted")
+        self._m_ring_wraps = m.counter("ring_wraps")
+        self._m_in_flight = m.gauge("chunks_in_flight")
 
     def slots_free(self) -> int:
         self.poll_credit_slot()
@@ -116,6 +123,7 @@ class RingSender:
         """Credits are monotonic counters; stale values are ignored."""
         if credit > self.credit:
             self.credit = credit
+            self._m_in_flight.set(self.next_chunk - self.credit)
 
     def build_chunk(self, kind: int, payload_len: int, credit: int,
                     aux: int = 0) -> Tuple[int, Buffer]:
@@ -160,6 +168,11 @@ class RingSender:
             self.remote_base + base, self.remote_rkey,
             signaled=signaled)
         self.chunks_sent += 1
+        self._m_chunks_sent.inc()
+        self._m_bytes_posted.inc(nbytes)
+        if chunk_index and slot == 0:
+            self._m_ring_wraps.inc()
+        self._m_in_flight.set(self.next_chunk - self.credit)
         return wr
 
 
@@ -172,7 +185,8 @@ class RingReceiver:
                  ctx=None, qp=None, credit_staging: Buffer = None,
                  credit_staging_mr: MemoryRegion = None,
                  remote_credit_addr: int = 0,
-                 remote_credit_rkey: int = 0):
+                 remote_credit_rkey: int = 0,
+                 metrics=None):
         assert nslots % SEQ_MOD != 0
         self.ring = ring
         self.ring_mr = ring_mr
@@ -196,6 +210,9 @@ class RingReceiver:
         self.credit_sent = 0
         self.credit_threshold = max(1, credit_threshold)
         self.chunks_received = 0
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_chunks_received = m.counter("chunks_received")
+        self._m_explicit_tail = m.counter("explicit_tail_updates")
 
     def peek(self) -> Optional[Tuple[int, int, int, int]]:
         """If the next chunk has fully arrived, return
@@ -228,6 +245,7 @@ class RingReceiver:
         self.payload_off = 0
         self.consumed += 1
         self.chunks_received += 1
+        self._m_chunks_received.inc()
 
     def credit_due(self) -> bool:
         """§4.3 delayed tail update: explicit credit once the unsent
@@ -245,4 +263,5 @@ class RingReceiver:
             self.remote_credit_addr, self.remote_credit_rkey,
             signaled=False)
         self.credit_sent = self.consumed
+        self._m_explicit_tail.inc()
         return None

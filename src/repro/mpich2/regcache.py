@@ -21,6 +21,7 @@ from ..config import HardwareConfig
 from ..ib.mr import MemoryRegion
 from ..ib.types import Access
 from ..ib.verbs import VapiContext
+from ..obs import NULL_METRICS
 
 __all__ = ["RegistrationCache"]
 
@@ -29,7 +30,7 @@ class RegistrationCache:
     """Per-process LRU cache of memory registrations."""
 
     def __init__(self, ctx: VapiContext, capacity: int = 64,
-                 enabled: bool = True):
+                 enabled: bool = True, metrics=None):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.ctx = ctx
@@ -41,6 +42,12 @@ class RegistrationCache:
         self._refs: dict = {}
         self.hits = 0
         self.misses = 0
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_lookups = m.counter("lookups")
+        self._m_hits = m.counter("hits")
+        self._m_misses = m.counter("misses")
+        self._m_evictions = m.counter("evictions")
+        self._m_pinned = m.gauge("pinned_bytes")
 
     def register(self, addr: int, length: int,
                  access: Access = Access.all_access()
@@ -49,15 +56,19 @@ class RegistrationCache:
         hit costs only the lookup, a miss pays the full pin-down."""
         key = (addr, length)
         yield from self.ctx.cpu.work(self.ctx.cfg.regcache_lookup_cost)
+        self._m_lookups.inc()
         if self.enabled:
             mr = self._cache.get(key)
             if mr is not None and mr.valid:
                 self._cache.move_to_end(key)
                 self._refs[key] = self._refs.get(key, 0) + 1
                 self.hits += 1
+                self._m_hits.inc()
                 return mr
         self.misses += 1
+        self._m_misses.inc()
         mr = yield from self.ctx.reg_mr(addr, length, access)
+        self._m_pinned.add(length)
         if self.enabled:
             self._cache[key] = mr
             self._refs[key] = self._refs.get(key, 0) + 1
@@ -70,6 +81,7 @@ class RegistrationCache:
         key = (mr.addr, mr.length)
         if not self.enabled:
             yield from self.ctx.dereg_mr(mr)
+            self._m_pinned.add(-mr.length)
             return None
         refs = self._refs.get(key, 0) - 1
         if refs > 0:
@@ -90,8 +102,10 @@ class RegistrationCache:
             if victim_key is None:
                 return None  # everything in use; try again later
             mr = self._cache.pop(victim_key)
+            self._m_evictions.inc()
             if mr.valid:
                 yield from self.ctx.dereg_mr(mr)
+                self._m_pinned.add(-mr.length)
         return None
 
     def flush(self) -> Generator:
@@ -101,6 +115,7 @@ class RegistrationCache:
                 mr = self._cache.pop(key)
                 if mr.valid:
                     yield from self.ctx.dereg_mr(mr)
+                    self._m_pinned.add(-mr.length)
         return None
 
     @property

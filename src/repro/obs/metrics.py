@@ -1,0 +1,254 @@
+"""Hierarchical metrics registry: counters, gauges, histograms.
+
+The observability layer the paper's analysis methodology implies:
+every claim in §4–§6 is an *operation count* (3 RDMA writes per
+message in the basic design, 1 with piggybacking, 1 read + 1 ACK for
+zero-copy) or a *rate* (registration-cache hits, retransmissions), so
+the stack exposes those counts in a single tree that test code and
+benchmark harnesses can snapshot and diff.
+
+Zero overhead when disabled: components are handed the
+:data:`NULL_METRICS` registry by default, whose ``counter`` /
+``gauge`` / ``histogram`` methods all return one shared no-op metric.
+No instrumentation point ever yields into the simulator, so enabling
+the registry cannot perturb simulated time — the event sequence is
+bit-for-bit identical with metrics on or off.
+
+Names are dot-separated paths (``rank0.channel.chunks_sent``,
+``ib.node1.qp65.rdma_write_bytes``); :meth:`MetricsRegistry.scope`
+hands a component a prefixed view so it never needs to know where it
+sits in the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "Scope", "MetricsRegistry",
+           "NullMetrics", "NULL_METRICS"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A level that can move both ways; remembers its high-water mark."""
+
+    __slots__ = ("name", "value", "max_value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.max_value = 0
+
+    def set(self, v: Number) -> None:
+        self.value = v
+        if v > self.max_value:
+            self.max_value = v
+
+    def add(self, n: Number) -> None:
+        self.set(self.value + n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value} max={self.max_value}>"
+
+
+class Histogram:
+    """Running count/sum/min/max of observed samples (enough for poll
+    depths and span lengths without storing every sample)."""
+
+    __slots__ = ("name", "count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, v: Number) -> None:
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Histogram {self.name} n={self.count} "
+                f"mean={self.mean:.3g}>")
+
+
+class Scope:
+    """A prefixed view into a registry: ``scope('rank0').counter('x')``
+    creates/returns the metric named ``rank0.x``."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str):
+        self._registry = registry
+        self._prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(f"{self._prefix}.{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(f"{self._prefix}.{name}")
+
+    def histogram(self, name: str) -> Histogram:
+        return self._registry.histogram(f"{self._prefix}.{name}")
+
+    def scope(self, name: str) -> "Scope":
+        return Scope(self._registry, f"{self._prefix}.{name}")
+
+
+class MetricsRegistry:
+    """The metric tree.  Metrics are created on first use and live for
+    the registry's lifetime; names are unique across kinds."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    # -- creation ----------------------------------------------------------
+    def _get(self, name: str, cls):
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(name)
+            self._metrics[name] = m
+        elif type(m) is not cls:
+            raise TypeError(f"metric {name!r} already exists as "
+                            f"{type(m).__name__}, not {cls.__name__}")
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def scope(self, prefix: str) -> Scope:
+        return Scope(self, prefix)
+
+    # -- reading -----------------------------------------------------------
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> Iterable[str]:
+        return self._metrics.keys()
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Flatten to ``{name: value}``.  Histograms expand to
+        ``name.count`` / ``.sum`` / ``.min`` / ``.max``; gauges also
+        export ``name.max`` (high-water mark)."""
+        out: Dict[str, Number] = {}
+        for name, m in self._metrics.items():
+            if isinstance(m, Counter):
+                out[name] = m.value
+            elif isinstance(m, Gauge):
+                out[name] = m.value
+                out[f"{name}.max"] = m.max_value
+            else:  # Histogram
+                out[f"{name}.count"] = m.count
+                out[f"{name}.sum"] = m.sum
+                out[f"{name}.min"] = m.min if m.min is not None else 0
+                out[f"{name}.max"] = m.max if m.max is not None else 0
+        return out
+
+    def total(self, suffix: str) -> Number:
+        """Sum every counter/gauge whose name ends with ``.suffix``
+        (or equals it) — the cross-rank/cross-QP aggregation used by
+        reports and golden tests."""
+        dotted = f".{suffix}"
+        total: Number = 0
+        for name, m in self._metrics.items():
+            if name == suffix or name.endswith(dotted):
+                if isinstance(m, (Counter, Gauge)):
+                    total += m.value
+        return total
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+class _NullMetric:
+    """Shared do-nothing metric handed out by :class:`NullMetrics`."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    max_value = 0
+    count = 0
+    sum = 0
+    min = None
+    max = None
+    mean = 0.0
+
+    def inc(self, n: Number = 1) -> None:
+        pass
+
+    def set(self, v: Number) -> None:
+        pass
+
+    def add(self, n: Number) -> None:
+        pass
+
+    def observe(self, v: Number) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetrics(MetricsRegistry):
+    """The default, disabled registry: every lookup returns the same
+    no-op metric and snapshots are empty."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str):
+        return _NULL_METRIC
+
+    gauge = counter
+    histogram = counter
+
+    def scope(self, prefix: str):
+        return self
+
+    def snapshot(self) -> Dict[str, Number]:
+        return {}
+
+    def total(self, suffix: str) -> Number:
+        return 0
+
+
+NULL_METRICS = NullMetrics()

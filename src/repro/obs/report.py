@@ -1,0 +1,116 @@
+"""Snapshot / diff / format helpers over the metrics registry.
+
+The workflow every counter test and benchmark uses::
+
+    before = report.snapshot(obs)
+    ... run the phase of interest ...
+    delta = report.diff(before, report.snapshot(obs))
+    print(report.format_report(delta))
+
+``snapshot`` accepts an :class:`repro.obs.Observability` hub, a bare
+:class:`repro.obs.metrics.MetricsRegistry`, or any object with an
+``obs`` attribute (a ``World`` or ``Cluster``).
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Dict, Union
+
+__all__ = ["snapshot", "diff", "aggregate", "format_report",
+           "counter_report"]
+
+Number = Union[int, float]
+
+
+def _registry(obj):
+    if hasattr(obj, "snapshot") and hasattr(obj, "counter"):
+        return obj                       # a MetricsRegistry
+    if hasattr(obj, "metrics"):
+        return obj.metrics               # an Observability hub
+    if hasattr(obj, "obs"):
+        return _registry(obj.obs)        # a World / Cluster
+    raise TypeError(f"cannot extract a metrics registry from "
+                    f"{type(obj).__name__}")
+
+
+def snapshot(obj) -> Dict[str, Number]:
+    """Flat ``{name: value}`` view of the registry right now."""
+    return _registry(obj).snapshot()
+
+
+def diff(before: Dict[str, Number], after: Dict[str, Number]
+         ) -> Dict[str, Number]:
+    """Per-metric change between two snapshots (zero deltas dropped;
+    metrics born after ``before`` appear at their full value)."""
+    out: Dict[str, Number] = {}
+    for name, value in after.items():
+        delta = value - before.get(name, 0)
+        if delta:
+            out[name] = delta
+    return out
+
+
+def aggregate(snap: Dict[str, Number], pattern: str) -> Number:
+    """Sum snapshot values whose name matches a glob pattern, e.g.
+    ``aggregate(snap, "*.regcache.hits")``."""
+    return sum(v for k, v in snap.items() if fnmatchcase(k, pattern))
+
+
+def format_report(snap: Dict[str, Number], title: str = "",
+                  nonzero_only: bool = True) -> str:
+    """Aligned, sorted, human-readable table of a snapshot/diff."""
+    rows = sorted((k, v) for k, v in snap.items()
+                  if not nonzero_only or v)
+    if not rows:
+        return f"{title}\n  (no metrics recorded)" if title \
+            else "(no metrics recorded)"
+    width = max(len(k) for k, _ in rows)
+    lines = [title] if title else []
+    for k, v in rows:
+        shown = f"{v:.6g}" if isinstance(v, float) else str(v)
+        lines.append(f"  {k:<{width}}  {shown}")
+    return "\n".join(lines)
+
+
+#: (label, snapshot glob) rows for the cross-layer summary report.
+_SUMMARY_ROWS = (
+    ("RDMA writes",            "*.rdma_write_ops"),
+    ("RDMA write bytes",       "*.rdma_write_bytes"),
+    ("RDMA reads",             "*.rdma_read_ops"),
+    ("RDMA read bytes",        "*.rdma_read_bytes"),
+    ("IB sends",               "*.send_ops"),
+    ("retransmissions",        "*.retransmissions"),
+    ("flushed WQEs",           "*.flushes"),
+    ("completions",            "*.completions"),
+    ("ring chunks sent",       "*.channel.chunks_sent"),
+    ("ring wraps",             "*.channel.ring_wraps"),
+    ("piggybacked tail upd.",  "*.channel.piggybacked_tail_updates"),
+    ("explicit tail upd.",     "*.channel.explicit_tail_updates"),
+    ("zero-copy NAK fallbacks", "*.channel.zc_fallbacks"),
+    ("regcache lookups",       "*.regcache.lookups"),
+    ("regcache hits",          "*.regcache.hits"),
+    ("regcache misses",        "*.regcache.misses"),
+    ("regcache evictions",     "*.regcache.evictions"),
+    ("eager messages",         "*.ch3.eager_decisions"),
+    ("rendezvous messages",    "*.ch3.rndv_decisions"),
+    ("unexpected arrivals",    "*.ch3.unexpected_arrivals"),
+)
+
+
+def counter_report(obj, title: str = "observability summary") -> str:
+    """The cross-layer summary the README quickstart prints: one row
+    per interesting aggregate, summed across ranks/nodes/QPs."""
+    snap = snapshot(obj)
+    width = max(len(label) for label, _ in _SUMMARY_ROWS)
+    lines = [title]
+    for label, pattern in _SUMMARY_ROWS:
+        value = aggregate(snap, pattern)
+        if value:
+            shown = f"{value:.6g}" if isinstance(value, float) \
+                else str(value)
+            lines.append(f"  {label:<{width}}  {shown}")
+    if len(lines) == 1:
+        lines.append("  (no metrics recorded — pass an enabled "
+                     "Observability to the run)")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Span-based timeline recorder with Chrome-trace export.
+
+Components record *spans* — named intervals of simulated time on a
+named track — and the timeline exports them as Chrome trace-event JSON
+(load the file in ``chrome://tracing`` or https://ui.perfetto.dev).
+One track per rank (plus one per node HCA) makes the paper's §4.4
+argument visible: in the pipelined design the ``memcpy`` spans of
+chunk *n+1* overlap the ``rdma`` spans of chunk *n*, while the basic
+design's copy-then-write serialization shows no overlap at all.
+
+Recording never yields into the simulator: a span is two reads of
+``sim.now`` and one list append, so the event sequence is identical
+with the timeline on or off.  The default is :data:`NULL_TIMELINE`,
+which drops everything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "AsyncSpan", "Instant", "Timeline", "NullTimeline",
+           "NULL_TIMELINE", "spans_overlap", "total_overlap"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed interval on one track (maps to B/E event pairs)."""
+    track: str
+    name: str
+    t0: float
+    t1: float
+    cat: str = ""
+    args: Optional[dict] = None
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class AsyncSpan:
+    """An interval that may overlap others on its track (maps to the
+    Chrome async ``b``/``e`` phases, paired by id)."""
+    track: str
+    name: str
+    aid: int
+    t0: float
+    t1: float
+    cat: str = ""
+    args: Optional[dict] = None
+
+
+@dataclass(frozen=True)
+class Instant:
+    track: str
+    name: str
+    t: float
+    cat: str = ""
+    args: Optional[dict] = None
+
+
+def spans_overlap(a, b) -> float:
+    """Length of the intersection of two spans (0 when disjoint)."""
+    lo = max(a.t0, b.t0)
+    hi = min(a.t1, b.t1)
+    return max(0.0, hi - lo)
+
+
+def total_overlap(group_a, group_b) -> float:
+    """Total pairwise overlap between two span groups."""
+    return sum(spans_overlap(a, b) for a in group_a for b in group_b)
+
+
+class Timeline:
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.async_spans: List[AsyncSpan] = []
+        self.instants: List[Instant] = []
+
+    # -- recording ---------------------------------------------------------
+    def span(self, track: str, name: str, t0: float, t1: float,
+             cat: str = "", args: Optional[dict] = None) -> None:
+        self.spans.append(Span(track, name, t0, t1, cat, args))
+
+    def async_span(self, track: str, name: str, aid: int, t0: float,
+                   t1: float, cat: str = "",
+                   args: Optional[dict] = None) -> None:
+        self.async_spans.append(AsyncSpan(track, name, aid, t0, t1, cat,
+                                          args))
+
+    def instant(self, track: str, name: str, t: float, cat: str = "",
+                args: Optional[dict] = None) -> None:
+        self.instants.append(Instant(track, name, t, cat, args))
+
+    # -- queries -----------------------------------------------------------
+    def spans_on(self, track: str, cat: Optional[str] = None,
+                 name: Optional[str] = None) -> List[Span]:
+        return [s for s in self.spans
+                if s.track == track
+                and (cat is None or s.cat == cat)
+                and (name is None or s.name == name)]
+
+    def tracks(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.track)
+        for s in self.async_spans:
+            seen.setdefault(s.track)
+        for s in self.instants:
+            seen.setdefault(s.track)
+        return list(seen)
+
+    # -- export ------------------------------------------------------------
+    def to_chrome(self, pid: int = 1) -> dict:
+        """Chrome trace-event JSON (object format).  Simulated seconds
+        become trace microseconds.  Spans emit balanced ``B``/``E``
+        pairs; at equal timestamps ``B`` sorts first so a consumer's
+        open-span depth never goes negative."""
+        tids: Dict[str, int] = {}
+
+        def tid_of(track: str) -> int:
+            if track not in tids:
+                tids[track] = len(tids) + 1
+            return tids[track]
+
+        events: List[tuple] = []  # (ts_us, order, event_dict)
+        for s in self.spans:
+            tid = tid_of(s.track)
+            base = {"name": s.name, "cat": s.cat or "span",
+                    "pid": pid, "tid": tid}
+            if s.args:
+                base = dict(base, args=s.args)
+            events.append((s.t0 * 1e6, 0,
+                           dict(base, ph="B", ts=s.t0 * 1e6)))
+            events.append((s.t1 * 1e6, 1,
+                           dict(base, ph="E", ts=s.t1 * 1e6)))
+        for a in self.async_spans:
+            tid = tid_of(a.track)
+            base = {"name": a.name, "cat": a.cat or "async",
+                    "pid": pid, "tid": tid, "id": a.aid}
+            if a.args:
+                base = dict(base, args=a.args)
+            events.append((a.t0 * 1e6, 0,
+                           dict(base, ph="b", ts=a.t0 * 1e6)))
+            events.append((a.t1 * 1e6, 1,
+                           dict(base, ph="e", ts=a.t1 * 1e6)))
+        for i in self.instants:
+            tid = tid_of(i.track)
+            ev = {"name": i.name, "cat": i.cat or "instant", "ph": "i",
+                  "ts": i.t * 1e6, "pid": pid, "tid": tid, "s": "t"}
+            if i.args:
+                ev["args"] = i.args
+            events.append((i.t * 1e6, 0, ev))
+
+        events.sort(key=lambda e: (e[0], e[1]))
+        trace_events = [
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": track}}
+            for track, tid in tids.items()
+        ]
+        trace_events.extend(e[2] for e in events)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def dump(self, path) -> None:
+        """Write the Chrome-trace JSON file."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh, indent=None,
+                      separators=(",", ":"))
+
+    def __len__(self) -> int:
+        return (len(self.spans) + len(self.async_spans)
+                + len(self.instants))
+
+
+class NullTimeline(Timeline):
+    """Disabled recorder: every record call is a no-op."""
+
+    enabled = False
+
+    def span(self, *a, **kw) -> None:
+        pass
+
+    def async_span(self, *a, **kw) -> None:
+        pass
+
+    def instant(self, *a, **kw) -> None:
+        pass
+
+
+NULL_TIMELINE = NullTimeline()

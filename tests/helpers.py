@@ -14,19 +14,20 @@ __all__ = ["make_channel_pair", "put_all", "get_all", "run_procs"]
 
 def make_channel_pair(design: str, cfg: Optional[HardwareConfig] = None,
                       ch_cfg: Optional[ChannelConfig] = None,
-                      faults=None):
+                      faults=None, obs=None):
     """Build a cluster with two connected channel endpoints of the
     given design; returns (cluster, chan0, chan1, conn0, conn1).
-    ``faults`` is an optional :class:`repro.faults.FaultPlan`."""
+    ``faults`` is an optional :class:`repro.faults.FaultPlan`;
+    ``obs`` an optional :class:`repro.obs.Observability`."""
     cls = CHANNELS[design]
     cfg = cfg or HardwareConfig()
     ch_cfg = ch_cfg or ChannelConfig()
     if design == "shm":
-        cluster = build_cluster(1, cfg, faults=faults)
+        cluster = build_cluster(1, cfg, faults=faults, obs=obs)
         n0 = n1 = cluster.nodes[0]
         ctx0, ctx1 = n0.vapi(0), n0.vapi(1)
     else:
-        cluster = build_cluster(2, cfg, faults=faults)
+        cluster = build_cluster(2, cfg, faults=faults, obs=obs)
         n0, n1 = cluster.nodes
         ctx0, ctx1 = n0.vapi(0), n1.vapi(0)
     ch0 = cls(0, n0, ctx0, cfg, ch_cfg)

@@ -1,0 +1,141 @@
+"""Unit tests for the kernel TCP-over-IPoIB path model
+(:mod:`repro.net.ipoib`): interrupt coalescing, socket-buffer flow
+control, byte conservation and the protocol-processing ceiling."""
+
+from helpers import run_procs
+from repro.cluster import build_cluster
+from repro.config import HardwareConfig
+from repro.net.ipoib import TcpConnection, TcpParams, TcpStack
+
+
+def _make_conn():
+    cluster = build_cluster(2, HardwareConfig())
+    n0, n1 = cluster.nodes
+    s0 = TcpStack(cluster.sim, n0, cluster.cfg)
+    s1 = TcpStack(cluster.sim, n1, cluster.cfg)
+    return cluster, s0, s1, TcpConnection(s0, s1)
+
+
+def _pump(cluster, conn, total, chunk=None):
+    """Run a sender/receiver pair moving ``total`` modelled bytes in
+    direction 0; returns (sent, received, elapsed_seconds)."""
+    p = conn.ends[0].p
+    chunk = chunk or p.sock_buf
+
+    def sender():
+        remaining = total
+        sent = 0
+        while remaining:
+            w = conn.window_free(0)
+            if w <= 0:
+                yield conn.wait_credit(0)
+                continue
+            n = yield from conn.send(0, min(w, chunk, remaining))
+            sent += n
+            remaining -= n
+        return sent
+
+    def receiver():
+        got = 0
+        while got < total:
+            n = yield from conn.recv(0, total - got)
+            if n == 0:
+                yield conn.wait_rx(0)
+                continue
+            got += n
+        return got
+
+    sent, got = run_procs(cluster, sender(), receiver())
+    return sent, got, cluster.sim.now
+
+
+class TestTcpParams:
+    def test_era_defaults(self):
+        p = TcpParams()
+        assert p.mss == 1992          # 2044-byte IPoIB MTU - headers
+        assert p.sock_buf == 64 * 1024
+        assert p.interrupt_latency > p.segment_cpu > 0
+        assert 0 < p.coalesce_window < 1e-3
+        # the per-byte protocol cost caps throughput near 320 MB/s
+        assert abs(1.0 / p.per_byte_cpu - 320e6) < 1e3
+
+
+class TestInterruptCoalescing:
+    def test_first_interrupt_paid_then_coalesced(self):
+        cluster, s0, _s1, _conn = _make_conn()
+        p = s0.p
+
+        def prog():
+            costs = [s0.rx_interrupt_cost(), s0.rx_interrupt_cost()]
+            yield cluster.sim.timeout(p.coalesce_window * 2)
+            costs.append(s0.rx_interrupt_cost())
+            return costs
+
+        (costs,) = run_procs(cluster, prog())
+        first, coalesced, after_gap = costs
+        assert first == p.interrupt_latency
+        assert coalesced == 0.0     # rides the previous interrupt
+        assert after_gap == p.interrupt_latency
+
+
+class TestFlowControl:
+    def test_window_tracks_unconsumed_bytes(self):
+        cluster, s0, _s1, conn = _make_conn()
+        p = s0.p
+        assert conn.window_free(0) == p.sock_buf
+        seen = {}
+
+        def sender():
+            yield from conn.send(0, p.sock_buf)
+            seen["after_send"] = conn.window_free(0)
+
+        def receiver():
+            while conn.available(0) < p.sock_buf:
+                yield conn.wait_rx(0)
+            seen["available"] = conn.available(0)
+            got = yield from conn.recv(0, p.sock_buf)
+            seen["got"] = got
+
+        run_procs(cluster, sender(), receiver())
+        assert seen["after_send"] == 0      # window closed while queued
+        assert seen["available"] == p.sock_buf
+        assert seen["got"] == p.sock_buf
+        assert conn.window_free(0) == p.sock_buf  # fully reopened
+        assert conn.available(0) == 0
+
+    def test_recv_on_empty_queue_returns_zero(self):
+        cluster, _s0, _s1, conn = _make_conn()
+
+        def prog():
+            n = yield from conn.recv(0, 4096)
+            return n
+
+        (n,) = run_procs(cluster, prog())
+        assert n == 0
+
+
+class TestTransfer:
+    def test_bytes_conserved(self):
+        cluster, _s0, _s1, conn = _make_conn()
+        total = 200_000  # forces several window turnarounds
+        sent, got, _ = _pump(cluster, conn, total)
+        assert sent == total
+        assert got == total
+        assert conn.available(0) == 0
+        assert conn.window_free(0) == conn.ends[0].p.sock_buf
+
+    def test_small_message_latency_dominated_by_kernel_costs(self):
+        cluster, s0, _s1, conn = _make_conn()
+        _, _, elapsed = _pump(cluster, conn, 1000)
+        # must at least pay syscall + segment + interrupt + copies...
+        assert elapsed > s0.p.interrupt_latency
+        # ...but stays a small-message exchange
+        assert elapsed < 200e-6
+
+    def test_throughput_sits_below_the_kernel_ceiling(self):
+        cluster, _s0, _s1, conn = _make_conn()
+        total = 512 * 1024
+        _, _, elapsed = _pump(cluster, conn, total)
+        mbps = total / elapsed / 1e6
+        # far below the ~870 MB/s RDMA path, sane for IPoIB-era TCP
+        assert 50 < mbps < 400

@@ -1,0 +1,129 @@
+"""Golden operation-count tests: the paper's per-message claims.
+
+§4.2: the basic design costs **three** RDMA writes per message (data,
+head-pointer update, tail-pointer update).  §4.3: piggybacking the
+head pointer into the data chunk and delaying tail updates brings this
+to **one** write per message plus an amortized explicit credit.  §5:
+a zero-copy large message costs exactly one RTS control chunk, one
+RDMA read and one ACK control chunk.
+"""
+
+import numpy as np
+
+from helpers import get_all, make_channel_pair, put_all, run_procs
+from repro.config import KB, ChannelConfig
+from repro.obs import Observability
+
+N_MSGS = 8
+MSG = 1 * KB
+
+
+def _run_messages(design, nmsgs, size, obs):
+    """Send ``nmsgs`` back-to-back messages of ``size`` bytes through a
+    fresh channel pair; returns (obs.metrics, received payloads ok)."""
+    cluster, ch0, ch1, c01, c10 = make_channel_pair(design, obs=obs)
+    send = ch0.node.alloc(size, "golden.send")
+    recvs = [ch1.node.alloc(size, f"golden.recv{i}")
+             for i in range(nmsgs)]
+    send.view()[:] = np.arange(size, dtype=np.uint8) % 251
+
+    def sender():
+        for _ in range(nmsgs):
+            yield from put_all(cluster, ch0, c01, [send])
+        return True
+
+    def receiver():
+        for buf in recvs:
+            yield from get_all(cluster, ch1, c10, [buf])
+        return True
+
+    run_procs(cluster, sender(), receiver())
+    expected = bytes(send.read())
+    ok = all(bytes(b.read()) == expected for b in recvs)
+    return obs.metrics, ok
+
+
+class TestGoldenBasic:
+    def test_three_writes_per_message(self):
+        obs = Observability()
+        reg, ok = _run_messages("basic", N_MSGS, MSG, obs)
+        assert ok
+        # sender side: one data write + one head update per message
+        assert reg.get("rank0.channel.data_writes").value == N_MSGS
+        assert reg.get("rank0.channel.head_updates").value == N_MSGS
+        # receiver side: one tail update per message
+        assert reg.get("rank1.channel.tail_updates").value == N_MSGS
+        # = the paper's three RDMA writes per message, seen at the HCA
+        assert reg.total("rdma_write_ops") == 3 * N_MSGS
+        # wire accounting: payload + two 8-byte pointer updates each
+        assert reg.total("rdma_write_bytes") == N_MSGS * (MSG + 16)
+        assert reg.total("wire_bytes") == N_MSGS * (MSG + 16)
+
+
+class TestGoldenPiggyback:
+    def test_one_write_per_message_plus_amortized_credits(self):
+        obs = Observability()
+        reg, ok = _run_messages("piggyback", N_MSGS, MSG, obs)
+        assert ok
+        # §4.3: head pointer rides inside the data chunk -> exactly one
+        # RDMA write per (chunk-sized) message
+        assert reg.get("rank0.channel.chunks_sent").value == N_MSGS
+        # delayed tail updates: ring 128K/16K = 8 slots, threshold
+        # max(1, 8*0.25) = 2 -> one explicit credit per 2 messages
+        explicit = reg.total("explicit_tail_updates")
+        assert explicit == N_MSGS // 2
+        # nothing else touches the wire
+        assert reg.total("rdma_write_ops") == N_MSGS + explicit
+        assert reg.total("rdma_read_ops") == 0
+
+    def test_amortization_beats_basic(self):
+        """The whole point of §4.3: strictly fewer RDMA writes."""
+        reg_b, _ = _run_messages("basic", N_MSGS, MSG, Observability())
+        reg_p, _ = _run_messages("piggyback", N_MSGS, MSG,
+                                 Observability())
+        assert (reg_p.total("rdma_write_ops")
+                < reg_b.total("rdma_write_ops"))
+
+
+class TestGoldenZeroCopy:
+    def test_one_rts_one_read_one_ack(self):
+        size = 64 * KB  # >= the 32 KB zero-copy threshold
+        obs = Observability()
+        reg, ok = _run_messages("zerocopy", 1, size, obs)
+        assert ok
+        assert reg.total("zc_rts_sent") == 1
+        assert reg.total("rdma_read_ops") == 1
+        assert reg.total("rdma_read_bytes") == size
+        assert reg.total("zc_bytes_read") == size
+        assert reg.total("zc_ack_sent") == 1
+        assert reg.total("zc_nak_sent") == 0
+        assert reg.total("zc_fallbacks") == 0
+        # the only ring chunks are the RTS and the ACK; no payload ever
+        # transits the ring (that is what "zero-copy" means)
+        assert reg.total("chunks_sent") == 2
+        assert reg.total("bytes_streamed") == 0
+        assert reg.total("bytes_delivered") == 0
+
+    def test_small_messages_still_stream(self):
+        size = 4 * KB  # below the threshold
+        reg, ok = _run_messages("zerocopy", 1, size, Observability())
+        assert ok
+        assert reg.total("zc_rts_sent") == 0
+        assert reg.total("rdma_read_ops") == 0
+        assert reg.total("bytes_delivered") == size
+
+    def test_threshold_is_configurable(self):
+        size = 8 * KB
+        obs = Observability()
+        cluster, ch0, ch1, c01, c10 = make_channel_pair(
+            "zerocopy",
+            ch_cfg=ChannelConfig(zerocopy_threshold=8 * KB), obs=obs)
+        send = ch0.node.alloc(size, "zc.send")
+        recv = ch1.node.alloc(size, "zc.recv")
+        send.view()[:] = 0x3C
+        run_procs(cluster,
+                  put_all(cluster, ch0, c01, [send]),
+                  get_all(cluster, ch1, c10, [recv]))
+        assert bytes(recv.read()) == bytes(send.read())
+        assert obs.metrics.total("zc_rts_sent") == 1
+        assert obs.metrics.total("rdma_read_ops") == 1

@@ -1,0 +1,226 @@
+"""Unit tests for the observability core: the metrics registry, the
+snapshot/diff/report helpers, and the benchmark gate."""
+
+import json
+
+import pytest
+
+from repro.obs import (NULL_METRICS, NULL_OBS, Counter, Gauge, Histogram,
+                       MetricsRegistry, NullMetrics, NullObservability,
+                       Observability)
+from repro.obs import gate, report
+
+
+class TestMetrics:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        # same name -> same object
+        assert reg.counter("x") is c
+
+    def test_gauge_high_water(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3)
+        g.add(4)
+        g.add(-5)
+        assert g.value == 2
+        assert g.max_value == 7
+
+    def test_histogram(self):
+        h = MetricsRegistry().histogram("poll")
+        assert h.mean == 0.0
+        for v in (4, 1, 7):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 12
+        assert h.min == 1
+        assert h.max == 7
+        assert h.mean == 4.0
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_scope_prefixing(self):
+        reg = MetricsRegistry()
+        s = reg.scope("rank0").scope("channel")
+        c = s.counter("chunks_sent")
+        c.inc()
+        assert reg.get("rank0.channel.chunks_sent") is c
+        assert "rank0.channel.chunks_sent" in reg.names()
+
+    def test_snapshot_flattening(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(3)
+        snap = reg.snapshot()
+        assert snap["a"] == 2
+        assert snap["g"] == 5
+        assert snap["g.max"] == 5
+        assert snap["h.count"] == 1
+        assert snap["h.sum"] == 3
+        assert snap["h.min"] == 3
+        assert snap["h.max"] == 3
+
+    def test_total_aggregates_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("ib.node0.qp64.rdma_write_ops").inc(3)
+        reg.counter("ib.node1.qp65.rdma_write_ops").inc(4)
+        reg.counter("ib.node0.qp64.rdma_write_bytes").inc(999)
+        assert reg.total("rdma_write_ops") == 7
+        assert reg.total("nonexistent") == 0
+
+    def test_null_registry_is_inert(self):
+        null = NullMetrics()
+        c = null.counter("x")
+        c.inc()
+        c.set(9)
+        c.observe(1)
+        assert c.value == 0
+        assert null.scope("deep") is null
+        assert null.snapshot() == {}
+        assert null.total("anything") == 0
+        assert not null.enabled
+        assert not NULL_METRICS.enabled
+
+    def test_observability_hub(self):
+        obs = Observability()
+        assert obs.enabled
+        obs.scope("rank0").counter("c").inc()
+        assert obs.metrics.total("c") == 1
+        null = NullObservability()
+        assert not null.enabled
+        assert null.metrics is NULL_METRICS
+        assert not NULL_OBS.enabled
+
+
+class TestReport:
+    def _obs(self):
+        obs = Observability()
+        obs.metrics.counter("rank0.regcache.hits").inc(3)
+        obs.metrics.counter("rank1.regcache.hits").inc(2)
+        obs.metrics.counter("rank0.channel.chunks_sent").inc(10)
+        return obs
+
+    def test_snapshot_accepts_hub_registry_and_world_like(self):
+        obs = self._obs()
+
+        class WorldLike:
+            pass
+
+        w = WorldLike()
+        w.obs = obs
+        for obj in (obs, obs.metrics, w):
+            snap = report.snapshot(obj)
+            assert snap["rank0.regcache.hits"] == 3
+        with pytest.raises(TypeError):
+            report.snapshot(42)
+
+    def test_diff_drops_zero_deltas(self):
+        obs = self._obs()
+        before = report.snapshot(obs)
+        obs.metrics.counter("rank0.regcache.hits").inc(4)
+        obs.metrics.counter("born.later").inc(1)
+        delta = report.diff(before, report.snapshot(obs))
+        assert delta == {"rank0.regcache.hits": 4, "born.later": 1}
+
+    def test_aggregate_glob(self):
+        snap = report.snapshot(self._obs())
+        assert report.aggregate(snap, "*.regcache.hits") == 5
+        assert report.aggregate(snap, "rank0.*") == 13
+        assert report.aggregate(snap, "*.misses") == 0
+
+    def test_format_report(self):
+        text = report.format_report(report.snapshot(self._obs()),
+                                    title="t")
+        assert text.startswith("t")
+        assert "rank0.regcache.hits" in text
+        assert report.format_report({}) == "(no metrics recorded)"
+
+    def test_counter_report(self):
+        text = report.counter_report(self._obs())
+        assert "regcache hits" in text
+        assert "5" in text
+        empty = report.counter_report(Observability())
+        assert "no metrics recorded" in empty
+
+
+class TestGate:
+    def _entry(self, **kw):
+        e = {"design": "piggyback", "metric": "latency_us", "size": 4,
+             "value": 7.4}
+        e.update(kw)
+        return e
+
+    def test_make_result_validates(self):
+        doc = gate.make_result("channels", [self._entry()])
+        assert doc["schema"] == gate.SCHEMA
+        with pytest.raises(ValueError):
+            gate.make_result("channels", [{"design": "x"}])
+        with pytest.raises(ValueError):
+            gate.make_result("channels",
+                             [self._entry(metric="bogus_metric")])
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        doc = gate.write_result(path, "channels", [self._entry()])
+        assert gate.load_result(path) == doc
+        # schema check on load
+        path.write_text(json.dumps({"schema": "other/9", "entries": []}))
+        with pytest.raises(ValueError):
+            gate.load_result(path)
+
+    def test_compare_directions(self):
+        base = gate.make_result("channels", [
+            self._entry(metric="latency_us", value=10.0),
+            self._entry(metric="bandwidth_MBps", value=100.0),
+        ])
+        ok = gate.make_result("channels", [
+            self._entry(metric="latency_us", value=10.9),
+            self._entry(metric="bandwidth_MBps", value=91.0),
+        ])
+        assert gate.compare(base, ok, rtol=0.10) == []
+        bad = gate.make_result("channels", [
+            self._entry(metric="latency_us", value=11.5),
+            self._entry(metric="bandwidth_MBps", value=85.0),
+        ])
+        problems = gate.compare(base, bad, rtol=0.10)
+        assert len(problems) == 2
+        assert any("above baseline" in p for p in problems)
+        assert any("below baseline" in p for p in problems)
+
+    def test_improvements_and_new_entries_pass(self):
+        base = gate.make_result("channels",
+                                [self._entry(value=10.0)])
+        cur = gate.make_result("channels", [
+            self._entry(value=5.0),                 # improvement
+            self._entry(size=4096, value=50.0),     # new entry
+        ])
+        assert gate.compare(base, cur) == []
+
+    def test_missing_entry_is_a_regression(self):
+        base = gate.make_result("channels", [
+            self._entry(),
+            self._entry(size=4096, value=12.0),
+        ])
+        cur = gate.make_result("channels", [self._entry()])
+        problems = gate.compare(base, cur)
+        assert len(problems) == 1
+        assert "not measured" in problems[0]
+
+    def test_gate_against_baseline(self, tmp_path):
+        cur = gate.make_result("channels", [self._entry()])
+        missing = tmp_path / "nope.json"
+        assert gate.gate_against_baseline(missing, cur) is None
+        path = tmp_path / "base.json"
+        gate.write_result(path, "channels",
+                          [self._entry(value=1.0)])
+        problems = gate.gate_against_baseline(path, cur)
+        assert problems and "above baseline" in problems[0]

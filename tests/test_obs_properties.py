@@ -1,0 +1,139 @@
+"""Hypothesis counter-invariant tests: conservation laws the metrics
+must satisfy on any fault-free run, whatever the message mix.
+
+* every byte the HCAs RDMA-write is accounted for by the channel's
+  wire traffic (chunk posts + explicit 8-byte credit writes);
+* every streamed byte the sender copies in is delivered out, and
+  stream + zero-copy bytes add up to the payload total;
+* registration-cache lookups = hits + misses;
+* no retransmissions and no flushed WQEs under an empty FaultPlan.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import get_all, make_channel_pair, put_all, run_procs
+from repro.faults import FaultPlan
+from repro.obs import Observability
+
+CHUNKED_DESIGNS = ("piggyback", "pipeline", "zerocopy")
+
+# message mixes: a handful of messages, sizes spanning sub-chunk,
+# multi-chunk and (for zerocopy) past the 32 KB threshold
+sizes_strategy = st.lists(st.integers(min_value=1, max_value=48 * 1024),
+                          min_size=1, max_size=4)
+
+
+def _run_stream(design, sizes, obs):
+    cluster, ch0, ch1, c01, c10 = make_channel_pair(
+        design, faults=FaultPlan(), obs=obs)
+    sends, recvs = [], []
+    for i, size in enumerate(sizes):
+        s = ch0.node.alloc(size, f"prop.send{i}")
+        s.view()[:] = np.arange(size, dtype=np.uint8) % 249
+        sends.append(s)
+        recvs.append(ch1.node.alloc(size, f"prop.recv{i}"))
+
+    def sender():
+        for s in sends:
+            yield from put_all(cluster, ch0, c01, [s])
+        return True
+
+    def receiver():
+        for r in recvs:
+            yield from get_all(cluster, ch1, c10, [r])
+        return True
+
+    run_procs(cluster, sender(), receiver())
+    for s, r in zip(sends, recvs):
+        assert bytes(r.read()) == bytes(s.read())
+    return obs.metrics
+
+
+class TestChunkedInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(sizes=sizes_strategy,
+           design=st.sampled_from(CHUNKED_DESIGNS))
+    def test_conservation_laws(self, sizes, design):
+        reg = _run_stream(design, sizes, Observability())
+        total_payload = sum(sizes)
+
+        # RDMA-write byte accounting: every write the HCAs performed
+        # is either a posted ring chunk (header+payload+trailer,
+        # counted by bytes_posted) or an explicit 8-byte tail update
+        assert reg.total("rdma_write_bytes") == (
+            reg.total("bytes_posted")
+            + 8 * reg.total("explicit_tail_updates"))
+        assert reg.total("rdma_write_ops") == (
+            reg.total("chunks_sent")
+            + reg.total("explicit_tail_updates"))
+
+        # stream conservation: bytes copied into staging == bytes
+        # copied out to user buffers; ring stream + zero-copy reads
+        # cover the whole payload
+        assert reg.total("bytes_streamed") == reg.total("bytes_delivered")
+        assert (reg.total("bytes_delivered")
+                + reg.total("zc_bytes_read")) == total_payload
+        assert reg.total("rdma_read_bytes") == reg.total("zc_bytes_read")
+
+        # every chunk sent is eventually received
+        assert reg.total("chunks_sent") == reg.total("chunks_received")
+
+        # fault-free run: the transport never retransmitted or flushed
+        assert reg.total("retransmissions") == 0
+        assert reg.total("flushes") == 0
+        assert reg.total("error_completions") == 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(sizes=sizes_strategy,
+           design=st.sampled_from(CHUNKED_DESIGNS))
+    def test_regcache_lookups_split_into_hits_and_misses(self, sizes,
+                                                        design):
+        reg = _run_stream(design, sizes, Observability())
+        lookups = reg.total("lookups")
+        assert lookups == reg.total("hits") + reg.total("misses")
+        if design == "zerocopy" and any(s >= 32 * 1024 for s in sizes):
+            assert lookups > 0
+
+
+class TestBasicInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=16 * 1024),
+                          min_size=1, max_size=4))
+    def test_wire_accounting(self, sizes):
+        reg = _run_stream("basic", sizes, Observability())
+        # every RDMA-write byte is a data byte or an 8-byte pointer
+        assert reg.total("rdma_write_bytes") == reg.total("wire_bytes")
+        assert reg.total("data_bytes") == sum(sizes)
+        assert reg.total("rdma_write_ops") == (
+            reg.total("data_writes") + reg.total("head_updates")
+            + reg.total("tail_updates"))
+        assert reg.total("retransmissions") == 0
+        assert reg.total("flushes") == 0
+
+
+class TestDisabledObservability:
+    def test_null_obs_records_nothing_and_timing_is_identical(self):
+        """The zero-overhead guarantee: the same run with metrics on
+        and off takes bit-for-bit identical simulated time."""
+        from repro.obs import NULL_OBS
+
+        def run(obs):
+            cluster, ch0, ch1, c01, c10 = make_channel_pair(
+                "piggyback", obs=obs)
+            send = ch0.node.alloc(5000, "z.send")
+            recv = ch1.node.alloc(5000, "z.recv")
+            send.view()[:] = 0x42
+            run_procs(cluster,
+                      put_all(cluster, ch0, c01, [send]),
+                      get_all(cluster, ch1, c10, [recv]))
+            return cluster.sim.now
+
+        t_off = run(None)           # defaults to NULL_OBS
+        obs = Observability()
+        t_on = run(obs)
+        assert t_on == t_off
+        assert obs.metrics.total("chunks_sent") > 0
+        assert NULL_OBS.metrics.snapshot() == {}
+        assert len(NULL_OBS.timeline) == 0

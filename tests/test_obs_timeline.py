@@ -1,0 +1,148 @@
+"""Timeline recorder and Chrome-trace export tests, including the
+§4.4 overlap claim: pipelined puts overlap memcpy with RDMA, the basic
+design's copy-then-write serialization does not."""
+
+import json
+from collections import defaultdict
+
+from helpers import get_all, make_channel_pair, put_all, run_procs
+from repro.config import KB
+from repro.obs import (NULL_TIMELINE, Observability, Span, Timeline,
+                       spans_overlap, total_overlap)
+
+VALID_PHASES = {"B", "E", "b", "e", "i", "M"}
+
+
+def _check_chrome(doc):
+    """Structural checks every exported trace must pass."""
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    events = doc["traceEvents"]
+    assert isinstance(events, list)
+    meta = [e for e in events if e["ph"] == "M"]
+    rest = [e for e in events if e["ph"] != "M"]
+    # metadata first: one thread_name per track
+    assert events[:len(meta)] == meta
+    for e in meta:
+        assert e["name"] == "thread_name"
+        assert "name" in e["args"]
+    tids = {e["tid"] for e in meta}
+    # every real event references a named track and a valid phase
+    depth = defaultdict(int)
+    last_ts = None
+    for e in rest:
+        assert e["ph"] in VALID_PHASES
+        assert e["tid"] in tids
+        assert isinstance(e["ts"], (int, float))
+        if last_ts is not None:
+            assert e["ts"] >= last_ts  # monotone timestamps
+        last_ts = e["ts"]
+        if e["ph"] == "B":
+            depth[e["tid"]] += 1
+        elif e["ph"] == "E":
+            depth[e["tid"]] -= 1
+            assert depth[e["tid"]] >= 0  # never close an unopened span
+    assert all(d == 0 for d in depth.values())  # balanced B/E
+    return meta, rest
+
+
+class TestTimelineUnit:
+    def test_record_and_query(self):
+        tl = Timeline()
+        tl.span("rank0", "copy", 1.0, 2.0, cat="memcpy",
+                args={"bytes": 4})
+        tl.span("rank0", "copy", 3.0, 4.0, cat="memcpy")
+        tl.span("node0.hca", "rdma_write", 1.5, 3.5, cat="rdma")
+        tl.async_span("rank0", "msg", aid=1, t0=0.5, t1=4.5, cat="msg")
+        tl.instant("rank0", "mark", 2.5)
+        assert len(tl) == 5
+        assert len(tl.spans_on("rank0", cat="memcpy")) == 2
+        assert len(tl.spans_on("rank0", name="copy")) == 2
+        assert tl.spans_on("node0.hca")[0].duration == 2.0
+        assert tl.tracks() == ["rank0", "node0.hca"]
+
+    def test_overlap_helpers(self):
+        a = Span("t", "x", 1.0, 3.0)
+        b = Span("t", "y", 2.0, 5.0)
+        c = Span("t", "z", 4.0, 6.0)
+        assert spans_overlap(a, b) == 1.0
+        assert spans_overlap(a, c) == 0.0
+        assert total_overlap([a, b], [c]) == 1.0
+
+    def test_chrome_export_schema(self):
+        tl = Timeline()
+        tl.span("rank0", "copy", 1e-6, 3e-6, cat="memcpy")
+        # equal timestamps: B must sort before E so consumer depth
+        # never goes negative
+        tl.span("rank0", "second", 3e-6, 4e-6)
+        tl.async_span("rank1", "msg", aid=7, t0=0.0, t1=5e-6)
+        tl.instant("rank0", "mark", 2e-6)
+        meta, rest = _check_chrome(tl.to_chrome())
+        assert len(meta) == 2  # two tracks
+        track_names = {e["args"]["name"] for e in meta}
+        assert track_names == {"rank0", "rank1"}
+        async_events = [e for e in rest if e["ph"] in ("b", "e")]
+        assert all(e["id"] == 7 for e in async_events)
+        # simulated seconds -> trace microseconds
+        assert any(e["ts"] == 1.0 for e in rest)
+
+    def test_dump_roundtrips(self, tmp_path):
+        tl = Timeline()
+        tl.span("rank0", "copy", 0.0, 1e-6, cat="memcpy",
+                args={"bytes": 64})
+        path = tmp_path / "trace.json"
+        tl.dump(path)
+        doc = json.loads(path.read_text())
+        _check_chrome(doc)
+
+    def test_null_timeline_drops_everything(self):
+        tl = NULL_TIMELINE
+        tl.span("t", "x", 0.0, 1.0)
+        tl.async_span("t", "x", 1, 0.0, 1.0)
+        tl.instant("t", "x", 0.0)
+        assert len(tl) == 0
+        assert not tl.enabled
+
+
+def _run_one_message(design, size):
+    obs = Observability()
+    cluster, ch0, ch1, c01, c10 = make_channel_pair(design, obs=obs)
+    send = ch0.node.alloc(size, "tl.send")
+    recv = ch1.node.alloc(size, "tl.recv")
+    send.view()[:] = 0x11
+    run_procs(cluster,
+              put_all(cluster, ch0, c01, [send]),
+              get_all(cluster, ch1, c10, [recv]))
+    assert bytes(recv.read()) == bytes(send.read())
+    return obs.timeline
+
+
+def _sender_overlap(tl):
+    """Overlap between rank0's staging copies and node0's data-bearing
+    RDMA spans (>= 1 KB excludes the 8-byte pointer updates)."""
+    copies = tl.spans_on("rank0", cat="memcpy", name="copy_to_staging")
+    rdma = [s for s in tl.spans_on("node0.hca", cat="rdma")
+            if (s.args or {}).get("bytes", 0) >= 1 * KB]
+    assert copies and rdma
+    return total_overlap(copies, rdma)
+
+
+class TestOverlapClaim:
+    SIZE = 64 * KB  # 4+ chunks through the 16 KB-chunk ring
+
+    def test_pipelined_design_overlaps_memcpy_with_rdma(self):
+        tl = _run_one_message("pipeline", self.SIZE)
+        assert _sender_overlap(tl) > 0.0
+
+    def test_basic_design_shows_no_overlap(self):
+        tl = _run_one_message("basic", self.SIZE)
+        assert _sender_overlap(tl) == 0.0
+
+    def test_real_run_exports_valid_chrome_trace(self, tmp_path):
+        tl = _run_one_message("pipeline", self.SIZE)
+        assert "rank0" in tl.tracks()
+        assert "node0.hca" in tl.tracks()
+        path = tmp_path / "pipeline.json"
+        tl.dump(path)
+        meta, rest = _check_chrome(json.loads(path.read_text()))
+        assert {e["args"]["name"] for e in meta} >= {"rank0",
+                                                     "node0.hca"}

@@ -1,0 +1,93 @@
+"""The old ``repro.mpi.trace`` API survives as a tested deprecation
+shim over :mod:`repro.obs.msgtrace`."""
+
+import warnings
+
+import pytest
+
+from repro.mpi.runner import build_world
+from repro.obs import Observability
+from repro.obs.msgtrace import MessageRecord, MessageTracer
+
+
+def _pingpong(mpi):
+    buf = mpi.alloc(256, "shim.buf")
+    if mpi.rank == 0:
+        buf.view()[:] = 0x7E
+        yield from mpi.Send(buf, dest=1, tag=5)
+        yield from mpi.Recv(buf, source=1, tag=6)
+    else:
+        yield from mpi.Recv(buf, source=0, tag=5)
+        yield from mpi.Send(buf, dest=0, tag=6)
+    return mpi.rank
+
+
+def _run_traced(attach, obs=None):
+    world = build_world(2, "piggyback", obs=obs)
+    tracer = attach(world)
+    procs = [world.cluster.spawn(_pingpong(ctx), f"rank{ctx.rank}")
+             for ctx in world.contexts]
+    world.cluster.run()
+    return tracer, [p.value for p in procs]
+
+
+class TestDeprecationShim:
+    def test_attach_warns_but_works(self):
+        from repro.mpi.trace import Tracer
+        with pytest.warns(DeprecationWarning,
+                          match="repro.obs.msgtrace.MessageTracer"):
+            tracer, results = _run_traced(Tracer.attach)
+        assert results == [0, 1]
+        # the old analysis API is intact
+        assert len(tracer.delivered()) == 2
+        assert tracer.unexpected_fraction() in (0.0, 0.5, 1.0)
+        assert "2 messages" in tracer.summary()
+        for rec in tracer.messages:
+            assert rec.t_sent is not None
+            assert rec.t_delivered is not None
+            assert rec.latency > 0
+            assert rec.size == 256
+
+    def test_shim_is_the_new_tracer(self):
+        from repro.mpi.trace import Tracer
+        from repro.mpi.trace import MessageRecord as OldRecord
+        assert issubclass(Tracer, MessageTracer)
+        assert OldRecord is MessageRecord
+
+    def test_new_api_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            tracer, results = _run_traced(MessageTracer.attach)
+        assert results == [0, 1]
+        assert len(tracer.delivered()) == 2
+
+
+class TestTimelineIntegration:
+    def test_delivered_messages_land_on_the_timeline(self):
+        obs = Observability()
+        tracer, _ = _run_traced(MessageTracer.attach, obs=obs)
+        msgs = [a for a in obs.timeline.async_spans if a.cat == "msg"]
+        assert len(msgs) == 2
+        by_track = {a.track for a in msgs}
+        assert by_track == {"rank0", "rank1"}
+        for a in msgs:
+            assert a.t1 > a.t0
+            assert a.args["bytes"] == 256
+
+    def test_without_obs_nothing_is_recorded(self):
+        from repro.obs import NULL_OBS
+        tracer, _ = _run_traced(MessageTracer.attach)
+        assert tracer.timeline is NULL_OBS.timeline
+        assert len(NULL_OBS.timeline) == 0
+
+
+class TestMessageRecord:
+    def test_latency_and_repr(self):
+        rec = MessageRecord(src=0, dst=1, tag=3, context=0, size=64,
+                            t_posted=1.0)
+        assert rec.latency is None
+        assert "?" in repr(rec)
+        rec.t_delivered = 1.5
+        assert rec.latency == 0.5
+        rec.unexpected = True
+        assert "unexpected" in repr(rec)

@@ -4,13 +4,13 @@ import pytest
 
 from repro.mpi import run_mpi
 from repro.mpi.runner import build_world
-from repro.mpi.trace import Tracer
+from repro.obs.msgtrace import MessageTracer
 
 
 class TestTracer:
     def _run_traced(self, prog, nranks=2, design="zerocopy"):
         world = build_world(nranks, design)
-        tracer = Tracer.attach(world)
+        tracer = MessageTracer.attach(world)
         procs = [world.cluster.spawn(prog(ctx), f"rank{ctx.rank}")
                  for ctx in world.contexts]
         world.cluster.run()
