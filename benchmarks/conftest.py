@@ -56,16 +56,29 @@ class BenchRecorder:
                                               rtol=rtol)
 
 
-@pytest.fixture(scope="session")
-def bench_recorder(results_dir):
-    rec = BenchRecorder()
-    yield rec
+def _write_recorder(rec, results_dir):
     if rec.entries:
         text = json.dumps(rec.document(), indent=2,
                           sort_keys=True) + "\n"
         name = f"BENCH_{rec.suite}.json"
         (results_dir / name).write_text(text)
         (REPO_ROOT / name).write_text(text)
+
+
+@pytest.fixture(scope="session")
+def bench_recorder(results_dir):
+    rec = BenchRecorder()
+    yield rec
+    _write_recorder(rec, results_dir)
+
+
+@pytest.fixture(scope="session")
+def adaptive_recorder(results_dir):
+    """Separate suite for the auto-tuner benchmarks: written to
+    ``BENCH_adaptive.json`` and gated against its own baseline."""
+    rec = BenchRecorder(suite="adaptive")
+    yield rec
+    _write_recorder(rec, results_dir)
 
 
 @pytest.fixture

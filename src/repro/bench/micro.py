@@ -17,8 +17,8 @@ from typing import Dict, List, Optional, Tuple
 from ..config import MB, ChannelConfig, HardwareConfig
 from ..mpi.runner import run_mpi
 
-__all__ = ["mpi_latency_us", "mpi_bandwidth", "latency_sweep",
-           "bandwidth_sweep", "PAPER_LATENCY_SIZES",
+__all__ = ["mpi_latency_us", "mpi_bandwidth", "mpi_phased_s",
+           "latency_sweep", "bandwidth_sweep", "PAPER_LATENCY_SIZES",
            "PAPER_BANDWIDTH_SIZES"]
 
 #: the x-axes the paper plots (bytes)
@@ -77,6 +77,66 @@ def _bandwidth(mpi, size: int, window: int, windows: int, warmup: int):
             yield from mpi.Waitall(reqs)
             yield from mpi.Send(ack, dest=0, tag=3)
     return None
+
+
+def _phased(mpi, size: int, stream_n: int, pingpong_n: int,
+            rounds: int, warmup: int):
+    """Alternating workload phases: a windowed stream of ``stream_n``
+    messages rank0 -> rank1, then ``pingpong_n`` request/response
+    exchanges — the pattern (bulk transfer, then synchronization
+    chatter) real applications alternate between.  The paper's own
+    Fig. 14/15 show opposite protocol winners for the two phases, so a
+    static build choice loses one of them; reported as total seconds
+    per measured round."""
+    send = mpi.alloc(size, "ph.send")
+    recv = mpi.alloc(size, "ph.recv")
+    send.view()[:] = 0x3C
+    ack = mpi.alloc(4, "ph.ack")
+    total = rounds + warmup
+    start = None
+    for rd in range(total):
+        if rd == warmup and mpi.rank == 0:
+            start = mpi.wtime()
+        # -- stream phase (windowed, like _bandwidth) --
+        if mpi.rank == 0:
+            reqs = []
+            for _ in range(stream_n):
+                r = yield from mpi.Isend(send, dest=1, tag=4)
+                reqs.append(r)
+            yield from mpi.Waitall(reqs)
+            yield from mpi.Recv(ack, source=1, tag=5)
+        else:
+            reqs = []
+            for _ in range(stream_n):
+                r = yield from mpi.Irecv(recv, source=0, tag=4)
+                reqs.append(r)
+            yield from mpi.Waitall(reqs)
+            yield from mpi.Send(ack, dest=0, tag=5)
+        # -- ping-pong phase --
+        for _ in range(pingpong_n):
+            if mpi.rank == 0:
+                yield from mpi.Send(send, dest=1, tag=6)
+                yield from mpi.Recv(recv, source=1, tag=6)
+            else:
+                yield from mpi.Recv(recv, source=0, tag=6)
+                yield from mpi.Send(send, dest=0, tag=6)
+    if mpi.rank == 0:
+        return (mpi.wtime() - start) / rounds
+    return None
+
+
+def mpi_phased_s(size: int, design: str = "zerocopy",
+                 cfg: Optional[HardwareConfig] = None,
+                 ch_cfg: Optional[ChannelConfig] = None,
+                 stream_n: int = 64, pingpong_n: int = 96,
+                 rounds: int = 4, warmup: int = 1,
+                 obs=None) -> float:
+    """Seconds per round of the phased stream+ping-pong workload."""
+    results, _ = run_mpi(2, _phased, design=design, cfg=cfg,
+                         ch_cfg=ch_cfg, obs=obs,
+                         args=(size, stream_n, pingpong_n, rounds,
+                               warmup))
+    return results[0]
 
 
 def mpi_latency_us(size: int, design: str = "zerocopy",

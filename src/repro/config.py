@@ -19,9 +19,12 @@ convention of 1e6 bytes.
 from __future__ import annotations
 
 import dataclasses
+import os
+import warnings
 from dataclasses import dataclass, field
 
-__all__ = ["HardwareConfig", "ChannelConfig", "KB", "MB", "US", "PAGE_SIZE"]
+__all__ = ["HardwareConfig", "ChannelConfig", "KB", "MB", "US",
+           "PAGE_SIZE", "deprecated_positional"]
 
 KB = 1024
 MB = 1_000_000  # the paper's MB is 10^6 bytes
@@ -29,8 +32,107 @@ US = 1e-6
 PAGE_SIZE = 4096
 
 
-@dataclass(frozen=True)
-class HardwareConfig:
+def deprecated_positional(cls):
+    """Class decorator: accept the dataclass's fields positionally for
+    one more release, emitting a :class:`DeprecationWarning`.
+
+    The config dataclasses are declared ``kw_only`` — call sites must
+    name every field — but code written against the old positional
+    signatures keeps working through this shim (in declaration order,
+    exactly as before)."""
+    names = [f.name for f in dataclasses.fields(cls)]
+    orig_init = cls.__init__
+
+    def __init__(self, *args, **kw):
+        if args:
+            warnings.warn(
+                f"positional arguments to {cls.__name__} are "
+                f"deprecated; pass fields by keyword "
+                f"({', '.join(names[:3])}, ...)",
+                DeprecationWarning, stacklevel=2)
+            if len(args) > len(names):
+                raise TypeError(
+                    f"{cls.__name__} takes at most {len(names)} "
+                    f"arguments ({len(args)} given)")
+            for name, val in zip(names, args):
+                if name in kw:
+                    raise TypeError(
+                        f"{cls.__name__} got multiple values for "
+                        f"argument {name!r}")
+                kw[name] = val
+        orig_init(self, **kw)
+
+    __init__.__wrapped__ = orig_init
+    cls.__init__ = __init__
+    return cls
+
+
+def _coerce_field(f: dataclasses.Field, raw: str):
+    """Parse a string (environment) value into a config field's type."""
+    by_name = {"bool": bool, "int": int, "float": float, "str": str}
+    if isinstance(f.type, type):
+        kind = f.type
+    else:  # ``from __future__ import annotations``: types are strings
+        kind = by_name.get(f.type, type(f.default))
+    if kind is bool:
+        low = raw.strip().lower()
+        if low in ("1", "true", "yes", "on"):
+            return True
+        if low in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"cannot parse {raw!r} as a boolean for "
+                         f"{f.name}")
+    if kind is int:
+        return int(raw, 0)
+    if kind is float:
+        return float(raw)
+    return raw
+
+
+class _ConfigMixin:
+    """``replace`` / ``from_dict`` / ``from_env`` shared by the config
+    dataclasses."""
+
+    def replace(self, **kw):
+        """Return a copy with some fields overridden."""
+        return dataclasses.replace(self, **kw)
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build a config from a mapping of field names; unknown keys
+        raise ``TypeError`` (catching typos beats ignoring them)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise TypeError(
+                f"{cls.__name__}.from_dict: unknown fields "
+                f"{sorted(unknown)}; valid fields are {sorted(known)}")
+        return cls(**data)
+
+    @classmethod
+    def from_env(cls, prefix=None, env=None):
+        """Build a config from environment variables.
+
+        Each field ``foo_bar`` is read from ``<PREFIX>FOO_BAR`` when
+        set (default prefix ``REPRO_<CLASSNAME>_``, e.g.
+        ``REPRO_CHANNELCONFIG_RING_SIZE=65536``); unset fields keep
+        their defaults.  Pass ``env`` (a mapping) to read from
+        something other than ``os.environ``."""
+        if prefix is None:
+            prefix = f"REPRO_{cls.__name__.upper()}_"
+        if env is None:
+            env = os.environ
+        kw = {}
+        for f in dataclasses.fields(cls):
+            raw = env.get(prefix + f.name.upper())
+            if raw is not None:
+                kw[f.name] = _coerce_field(f, raw)
+        return cls(**kw)
+
+
+@deprecated_positional
+@dataclass(frozen=True, kw_only=True)
+class HardwareConfig(_ConfigMixin):
     """Calibrated testbed model.  Instances are immutable; derive
     variants with :meth:`replace`."""
 
@@ -144,10 +246,6 @@ class HardwareConfig:
     #: the 7.4 -> 7.6 us small-message latency increase).
     zerocopy_check_cpu: float = 0.2 * US
 
-    def replace(self, **kw) -> "HardwareConfig":
-        """Return a copy with some fields overridden."""
-        return dataclasses.replace(self, **kw)
-
     # -- derived helpers -------------------------------------------------
     def memcpy_cost_per_byte(self, working_set: int) -> float:
         """Bus-bytes per payload byte for a copy whose working set is
@@ -166,8 +264,9 @@ class HardwareConfig:
         return self.dereg_base_cost + pages * self.dereg_per_page_cost
 
 
-@dataclass(frozen=True)
-class ChannelConfig:
+@deprecated_positional
+@dataclass(frozen=True, kw_only=True)
+class ChannelConfig(_ConfigMixin):
     """Tunables of the RDMA Channel designs (§4–§5).
 
     Defaults follow the paper's chosen operating point: 16 KB chunks
@@ -191,9 +290,6 @@ class ChannelConfig:
     regcache_capacity: int = 64
     #: CH3 rendezvous threshold for the CH3-level design (§6).
     ch3_rndv_threshold: int = 32 * KB
-
-    def replace(self, **kw) -> "ChannelConfig":
-        return dataclasses.replace(self, **kw)
 
     def __post_init__(self):
         if self.ring_size % self.chunk_size != 0:

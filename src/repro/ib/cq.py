@@ -75,11 +75,21 @@ class CompletionQueue:
         return None
 
     def poll_many(self, max_entries: int) -> List[Completion]:
+        """Bounded batch drain: pop up to ``max_entries`` CQEs in one
+        call.  This is the budgeted-poll primitive of the adaptive
+        progress engine — one detection/poll cost covers the whole
+        batch instead of one per CQE, while the bound keeps a single
+        busy CQ from starving the other connections' progress."""
         out = []
         while self._entries and len(out) < max_entries:
             out.append(self._entries.popleft())
         self._m_poll_depth.observe(len(out))
         return out
+
+    def pending(self) -> int:
+        """CQEs currently queued (free to read: the consumer charges
+        poll cost only when it actually drains)."""
+        return len(self._entries)
 
     def wait(self) -> Generator:
         """Block until a completion is available, then pop it.

@@ -145,6 +145,12 @@ class VapiContext:
         :meth:`wait_cq`, which charges realistic detection costs)."""
         return cq.poll()
 
+    def poll_cq_many(self, cq: CompletionQueue, budget: int):
+        """Bounded batch drain of up to ``budget`` CQEs (zero simulated
+        cost — the caller charges one poll cost for the batch, the
+        amortization the adaptive progress engine exploits)."""
+        return cq.poll_many(budget)
+
     def wait_cq(self, cq: CompletionQueue) -> Generator:
         """Spin on ``cq`` until a completion arrives; charges poll CPU
         plus the detection latency of seeing a fresh CQE over PCI."""

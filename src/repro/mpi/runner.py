@@ -17,7 +17,8 @@ from ..config import ChannelConfig, HardwareConfig
 from ..faults import FaultPlan
 from ..hw.memory import Buffer
 from ..mpich2.ch3 import Ch3Device
-from ..mpich2.channels import CHANNELS
+from ..mpich2.channels import registry as channel_registry
+from ..tune import TuneConfig
 from ..sim.engine import Simulator
 from .comm import Communicator
 from .status import ANY_SOURCE, ANY_TAG, Status
@@ -26,7 +27,7 @@ __all__ = ["MpiContext", "World", "run_mpi", "build_world", "DESIGNS"]
 
 #: design name -> (channel name, device factory)
 DESIGNS = ("shm", "basic", "piggyback", "pipeline", "zerocopy",
-           "ch3", "multimethod", "tcp")
+           "ch3", "multimethod", "tcp", "adaptive")
 
 
 class MpiContext:
@@ -109,12 +110,15 @@ def build_world(nranks: int, design: str = "zerocopy",
                 ch_cfg: Optional[ChannelConfig] = None,
                 nnodes: Optional[int] = None,
                 faults: Optional[FaultPlan] = None,
-                obs=None) -> World:
+                obs=None,
+                tune: Optional[TuneConfig] = None) -> World:
     """Construct a world: ranks round-robin over nodes (default one
     rank per node, like the paper's runs).  ``faults`` injects
     deterministic fabric/HCA faults (see :mod:`repro.faults`);
     ``obs`` (a :class:`repro.obs.Observability`) records per-layer
-    counters and timeline spans for the run."""
+    counters and timeline spans for the run; ``tune`` configures the
+    adaptive controller (defaults to on for the ``adaptive`` design,
+    off — never consulted — everywhere else)."""
     if design not in DESIGNS:
         raise ValueError(f"unknown design {design!r}; pick from "
                          f"{DESIGNS}")
@@ -129,20 +133,31 @@ def build_world(nranks: int, design: str = "zerocopy",
     cluster = build_cluster(nnodes, cfg, faults=faults, obs=obs,
                             ncpus_per_node=max(2, -(-nranks // nnodes)))
 
+    # design -> (channel registry name, device class); the two CH3
+    # rendezvous designs pair a specific device with their channel
     if design == "ch3":
         from ..mpich2.ch3_rdma.device import Ch3RdmaDevice
-        channel_cls = CHANNELS["pipeline"]
+        channel_name = "pipeline"
         device_cls = Ch3RdmaDevice
+    elif design == "adaptive":
+        from ..mpich2.ch3_rdma.adaptive import Ch3AdaptiveDevice
+        channel_name = "adaptive"
+        device_cls = Ch3AdaptiveDevice
+        if tune is None:
+            tune = TuneConfig()
     else:
-        channel_cls = CHANNELS[design]
+        channel_name = design
         device_cls = Ch3Device
 
+    channel_cls = channel_registry.lookup(channel_name)
     channels = []
     for r in range(nranks):
         node = cluster.nodes[r % nnodes]
         cpu_index = r // nnodes
         ctx = node.vapi(cpu_index % len(node.cpus))
-        chan = channel_cls(r, node, ctx, cfg, ch_cfg)
+        chan = channel_registry.create(
+            channel_name, rank=r, node=node, ctx=ctx, cfg=cfg,
+            ch_cfg=ch_cfg, tune=tune)
         chan.initialize(nranks)
         channels.append(chan)
 
@@ -166,6 +181,7 @@ def run_mpi(nranks: int, prog: Callable, *,
             nnodes: Optional[int] = None,
             faults: Optional[FaultPlan] = None,
             obs=None,
+            tune: Optional[TuneConfig] = None,
             args: Sequence = (),
             until: Optional[float] = None) -> Tuple[List, float]:
     """Run ``prog(mpi, *args)`` on ``nranks`` ranks; returns
@@ -175,7 +191,7 @@ def run_mpi(nranks: int, prog: Callable, *,
     ``yield from`` (see the examples/ directory).
     """
     world = build_world(nranks, design, cfg, ch_cfg, nnodes, faults,
-                        obs=obs)
+                        obs=obs, tune=tune)
     procs = [world.cluster.spawn(prog(ctx, *args), f"rank{ctx.rank}")
              for ctx in world.contexts]
     world.cluster.run(until)

@@ -28,6 +28,7 @@ from ..hw.memory import Buffer
 from ..ib.types import QPError
 from .adi3 import (ANY_SOURCE, ANY_TAG, Adi3Device, MpiError, Request,
                    TruncateError)
+from ..tune import NULL_TUNER
 from .channels.base import (ChannelBrokenError, Connection, RdmaChannel,
                             advance_iov, clamp_iov, iov_total)
 
@@ -153,6 +154,9 @@ class Ch3Device(Adi3Device):
         self.unexpected: List[_Unexpected] = []
         self.eager_sent = 0
         self.messages_received = 0
+        #: the channel's adaptive controller (NULL_TUNER on every
+        #: static design: all feeds/queries are no-ops)
+        self.tuner = getattr(channel, "tuner", NULL_TUNER)
         m = channel.obs.metrics.scope(f"rank{rank}.ch3")
         self._m_eager = m.counter("eager_decisions")
         self._m_rndv = m.counter("rndv_decisions")
@@ -385,6 +389,7 @@ class Ch3Device(Adi3Device):
 
     def _begin_eager(self, st: _ConnState, src: int, tag: int,
                      context: int, size: int) -> None:
+        self.tuner.on_recv(src, size, rndv=False)
         env = (src, tag, context, size)
         pr = self._match_posted(src, tag, context)
         if pr is not None:

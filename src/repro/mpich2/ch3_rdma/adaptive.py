@@ -1,0 +1,94 @@
+"""CH3 device for the adaptive design.
+
+Extends the §6 rendezvous device with the controller consult/feed
+points and a budgeted batched completion drain:
+
+* every send consults ``tuner.rndv_threshold(peer)`` instead of the
+  static §6 threshold, and feeds the controller the message size and
+  the send-queue depth (its streaming/latency classifier input);
+* the progress engine drains send CQs in bounded batches
+  (``TuneConfig.cq_poll_budget``), charging one poll cost per batch
+  rather than one per CQE, and hands zero-copy read completions back
+  to the channel's state machine (both protocols share the send CQ).
+
+With the tuner disabled every query returns the static configuration
+and this class behaves exactly like :class:`Ch3RdmaDevice` apart from
+the batch drain — which it then runs with a budget of 1, making the
+drain CQE-for-CQE identical to the base device's loop.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ...ib.types import Opcode, WcStatus
+from ..adi3 import MpiError
+from ..ch3 import PKT_RNDV_FIN
+from .device import Ch3RdmaDevice
+
+__all__ = ["Ch3AdaptiveDevice"]
+
+
+class Ch3AdaptiveDevice(Ch3RdmaDevice):
+    """Rendezvous device wired to the channel's adaptive controller."""
+
+    def _use_rndv(self, live, size, dest) -> bool:
+        threshold = self.tuner.rndv_threshold(dest, self.rndv_threshold)
+        use = size >= threshold and len(live) == 1
+        # feed the controller: size, queue depth (the streaming
+        # detector input: packets still queued on the connection plus
+        # rendezvous handshakes in flight to this peer — back-to-back
+        # windowed sends pile up here, ping-pong never exceeds one),
+        # and which path this send takes
+        depth = len(self.conn_state[dest].sendq) + sum(
+            1 for s in self.rndv_sends.values() if s.peer == dest)
+        self.tuner.on_send(dest, size, depth=depth, rndv=use)
+        return use
+
+    def _extra_progress(self) -> Generator[None, None, bool]:
+        moved = False
+        budget = self.tuner.cq_budget(1)
+        for peer, st in self.conn_state.items():
+            cq = st.conn.qp.send_cq
+            while cq.pending():
+                batch = self.channel.ctx.poll_cq_many(cq, budget)
+                # one poll cost amortized over the whole batch
+                yield from self.channel.ctx.cpu.work(
+                    self.cfg.cq_poll_cpu)
+                for cqe in batch:
+                    moved |= yield from self._reap_completion(
+                        peer, st, cqe)
+        return moved
+
+    def _reap_completion(self, peer: int, st, cqe
+                         ) -> Generator[None, None, bool]:
+        if cqe.opcode is Opcode.RDMA_READ:
+            # a channel-level zero-copy read shares our send CQ: mark
+            # it done so the channel's next get() completes it
+            zc = getattr(st.conn, "zc_read", None)
+            if zc is None or cqe.wr_id != zc.wr_id:
+                raise MpiError(f"unexpected completion {cqe}")
+            if cqe.status is not WcStatus.SUCCESS:
+                raise MpiError(
+                    f"rank {self.rank}: zero-copy read from rank "
+                    f"{peer} failed: {cqe.status}")
+            zc.done = True
+            return True
+        if cqe.opcode is not Opcode.RDMA_WRITE:
+            raise MpiError(f"unexpected completion {cqe}")
+        state = self.rndv_inflight.pop((peer, cqe.wr_id), None)
+        if state is None:
+            raise MpiError(f"completion for unknown rendezvous "
+                           f"write {cqe.wr_id}")
+        if cqe.status is not WcStatus.SUCCESS:
+            state.req.fail(MpiError(
+                f"rendezvous write failed: {cqe.status}"))
+            return False
+        yield from self.channel.regcache.release(state.mr)
+        del self.rndv_sends[state.req.req_id]
+        # FIN tells the receiver the data is in place
+        self._enqueue_packet(state.peer, PKT_RNDV_FIN, 0, 0, 0,
+                             [], sreq=state.req.req_id)
+        state.req.complete(count=state.size)
+        yield from self._progress_send(self.conn_state[state.peer])
+        return True

@@ -84,16 +84,25 @@ class Ch3RdmaDevice(Ch3Device):
         self.rndv_started = 0
         self.rndv_completed = 0
 
+    def _use_rndv(self, live: List[Buffer], size: int, dest: int
+                  ) -> bool:
+        """The protocol consult point: True routes this send through
+        the rendezvous RDMA-write path.  The static rule is the §6
+        threshold; the adaptive device overrides this to ask its
+        per-peer controller."""
+        return size >= self.rndv_threshold
+
     # ------------------------------------------------------------------
     # send path
     # ------------------------------------------------------------------
     def isend(self, iov, dest, tag, context
               ) -> Generator[None, None, Request]:
         size = iov_total(iov)
-        if size < self.rndv_threshold:
+        live = [b for b in iov if len(b)]
+        if not self._use_rndv(live, size, dest):
             req = yield from super().isend(iov, dest, tag, context)
             return req
-        iov = [b for b in iov if len(b)]
+        iov = live
         if len(iov) != 1:
             raise MpiError("rendezvous sends need one contiguous buffer")
         yield from self.channel.ctx.cpu.work(self.cfg.ch3_packet_overhead)
@@ -144,6 +153,7 @@ class Ch3RdmaDevice(Ch3Device):
         if len(iov) != 1:
             raise MpiError("rendezvous receives need one contiguous "
                            "buffer")
+        self.tuner.on_recv(peer, size, rndv=True)
         target = iov[0].sub(0, size)
         mr = yield from self.channel.regcache.register(target.addr, size)
         self.rndv_recvs[(peer, sreq)] = _RndvRecv(req, mr, env)

@@ -1,18 +1,34 @@
 """RDMA Channel implementations — one per design in the paper.
 
-========== ================================ =========================
-name        class                            paper section
-========== ================================ =========================
-shm         :class:`ShmChannel`              Fig. 3 (reference)
-basic       :class:`BasicChannel`            §4.2
-piggyback   :class:`PiggybackChannel`        §4.3
-pipeline    :class:`PipelineChannel`         §4.4
-zerocopy    :class:`ZeroCopyChannel`         §5
-========== ================================ =========================
+=========== ================================ =========================
+name         class                            paper section
+=========== ================================ =========================
+shm          :class:`ShmChannel`              Fig. 3 (reference)
+basic        :class:`BasicChannel`            §4.2
+piggyback    :class:`PiggybackChannel`        §4.3
+pipeline     :class:`PipelineChannel`         §4.4
+zerocopy     :class:`ZeroCopyChannel`         §5
+multimethod  :class:`MultiMethodChannel`      Fig. 1 multi-method
+tcp          :class:`TcpChannel`              Fig. 1 TCP baseline
+adaptive     :class:`AdaptiveChannel`         runtime-tuned (repro.tune)
+=========== ================================ =========================
+
+Designs are selected by name through the registry/factory API::
+
+    from repro.mpich2.channels import create, names
+
+    chan = create("zerocopy", rank=0, node=node, ctx=ctx)
+
+New designs enroll with the :func:`register` decorator and become
+visible to the runner, the property-test suite, and the benchmark
+harness without further wiring.
 """
 
 from .base import (ChannelBrokenError, ChannelError, Connection,
                    IovCursor, RdmaChannel, advance_iov, iov_total)
+from .registry import CHANNELS, create, lookup, names, register
+
+# importing the modules triggers their @register decorators
 from .basic import BasicChannel
 from .chunked import ChunkedChannel, ChunkedConnection
 from .multimethod import MultiMethodChannel
@@ -21,20 +37,15 @@ from .pipeline import PipelineChannel
 from .shm import ShmChannel
 from .tcp import TcpChannel
 from .zerocopy import ZeroCopyChannel
-
-#: design name -> channel class
-CHANNELS = {
-    cls.name: cls
-    for cls in (ShmChannel, BasicChannel, PiggybackChannel,
-                PipelineChannel, ZeroCopyChannel, MultiMethodChannel,
-                TcpChannel)
-}
+from .adaptive import AdaptiveChannel
 
 __all__ = [
     "RdmaChannel", "Connection", "ChannelError", "ChannelBrokenError",
     "IovCursor",
-    "advance_iov", "iov_total", "CHANNELS",
+    "advance_iov", "iov_total",
+    "CHANNELS", "register", "create", "lookup", "names",
     "ShmChannel", "BasicChannel", "PiggybackChannel", "PipelineChannel",
     "ZeroCopyChannel", "MultiMethodChannel", "TcpChannel",
+    "AdaptiveChannel",
     "ChunkedChannel", "ChunkedConnection",
 ]

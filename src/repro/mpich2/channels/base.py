@@ -28,11 +28,13 @@ this invariant is property-tested across all five implementations.
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import Dict, Generator, List, Optional, Sequence
 
 from ...config import ChannelConfig, HardwareConfig
 from ...hw.memory import Buffer
 from ...ib.verbs import VapiContext
+from ...tune import NULL_TUNER, TuneConfig
 
 __all__ = ["RdmaChannel", "Connection", "IovCursor", "advance_iov",
            "clamp_iov", "iov_total", "ChannelError",
@@ -40,14 +42,24 @@ __all__ = ["RdmaChannel", "Connection", "IovCursor", "advance_iov",
 
 
 class ChannelError(Exception):
-    """Protocol violation inside a channel implementation."""
+    """Root of the channel error hierarchy.
+
+    Every failure a channel can signal derives from this class, across
+    all transports: protocol violations (FIFO underrun, malformed
+    chunk, unknown peer), misuse (get() offering more room than the
+    message has left), and — via :class:`ChannelBrokenError` — dead
+    transports.  Callers above the channel layer need exactly one
+    ``except ChannelError`` clause; no bare ``OSError``/``RuntimeError``
+    escapes a conforming implementation."""
 
 
 class ChannelBrokenError(ChannelError):
-    """The underlying transport failed unrecoverably (QP in error
-    state after retry exhaustion, flushed/errored completions): the
-    connection is dead.  CH3 converts this into an MPI error so rank
-    programs see an exception, never a hang."""
+    """The underlying transport failed unrecoverably: QP in error
+    state after retry exhaustion, flushed/errored completions, a TCP
+    socket reset/closed underfoot, or a shared-memory segment torn
+    down by the peer's finalize.  The connection is dead.  CH3
+    converts this into an MPI error so rank programs see an
+    exception, never a hang."""
 
 
 def iov_total(iov: Sequence[Buffer]) -> int:
@@ -186,13 +198,56 @@ class RdmaChannel(abc.ABC):
     #: gates); IB designs share one per-node gate.
     hint_per_connection: bool = False
 
-    def __init__(self, rank: int, node, ctx: VapiContext,
-                 cfg: HardwareConfig, ch_cfg: ChannelConfig):
+    #: construction parameters, in the order the pre-registry API took
+    #: them positionally (drives the deprecation shim below).
+    _INIT_PARAMS = ("rank", "node", "ctx", "cfg", "ch_cfg")
+
+    def __init__(self, *args, rank: Optional[int] = None, node=None,
+                 ctx: Optional[VapiContext] = None,
+                 cfg: Optional[HardwareConfig] = None,
+                 ch_cfg: Optional[ChannelConfig] = None,
+                 tune: Optional[TuneConfig] = None):
+        if args:
+            # Deprecated positional form: Channel(rank, node, ctx,
+            # cfg, ch_cfg).  Map onto the keyword API once, warn once.
+            if len(args) > len(self._INIT_PARAMS):
+                raise TypeError(
+                    f"{type(self).__name__}() takes at most "
+                    f"{len(self._INIT_PARAMS)} positional arguments "
+                    f"({len(args)} given)")
+            warnings.warn(
+                f"positional arguments to {type(self).__name__}() are "
+                f"deprecated; pass "
+                f"{', '.join(self._INIT_PARAMS)} (and tune) by keyword "
+                f"or use repro.mpich2.channels.create()",
+                DeprecationWarning, stacklevel=2)
+            given = dict(zip(self._INIT_PARAMS, args))
+            for name, kw_val in (("rank", rank), ("node", node),
+                                 ("ctx", ctx), ("cfg", cfg),
+                                 ("ch_cfg", ch_cfg)):
+                if name in given and kw_val is not None:
+                    raise TypeError(
+                        f"{type(self).__name__}() got multiple values "
+                        f"for argument {name!r}")
+            rank = given.get("rank", rank)
+            node = given.get("node", node)
+            ctx = given.get("ctx", ctx)
+            cfg = given.get("cfg", cfg)
+            ch_cfg = given.get("ch_cfg", ch_cfg)
+        if rank is None or node is None or ctx is None:
+            raise TypeError(
+                f"{type(self).__name__}() requires rank, node and ctx")
         self.rank = rank
         self.node = node
         self.ctx = ctx
-        self.cfg = cfg
-        self.ch_cfg = ch_cfg
+        self.cfg = cfg if cfg is not None else HardwareConfig()
+        self.ch_cfg = ch_cfg if ch_cfg is not None else ChannelConfig()
+        #: adaptive-tuning bounds; the stack-wide default is off, under
+        #: which no tuner is ever consulted (bit-for-bit guarantee).
+        self.tune_cfg = tune if tune is not None else TuneConfig.off()
+        #: the design's controller; stays NULL_TUNER unless a design
+        #: that supports adaptation replaces it (see AdaptiveChannel).
+        self.tuner = NULL_TUNER
         self.conns: Dict[int, Connection] = {}
         self.finalized = False
         #: cluster-wide observability hub (NULL_OBS unless the run was

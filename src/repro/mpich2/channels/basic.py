@@ -22,6 +22,7 @@ from ...ib.types import WcStatus
 from .base import (ChannelBrokenError, ChannelError, Connection,
                    IovCursor, RdmaChannel,
                    iov_total)
+from .registry import register
 
 __all__ = ["BasicChannel", "BasicConnection"]
 
@@ -64,11 +65,11 @@ class BasicConnection(Connection):
         return struct.unpack("<Q", self.head_replica.read())[0]
 
 
+@register("basic")
 class BasicChannel(RdmaChannel):
-    name = "basic"
 
-    def __init__(self, rank, node, ctx, cfg, ch_cfg):
-        super().__init__(rank, node, ctx, cfg, ch_cfg)
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
         m = self.metrics
         self._m_data_writes = m.counter("data_writes")
         self._m_data_bytes = m.counter("data_bytes")

@@ -72,6 +72,19 @@ class ChunkedConnection(Connection):
         self.receiver: Optional[RingReceiver] = None
         self.zc_send: Optional[ZcopySend] = None
         self.zc_read: Optional[ZcopyRead] = None
+        #: per-connection zero-copy cut-over; starts at the static
+        #: configuration and is moved at runtime by the adaptive
+        #: controller (THRESHOLD_OFF disables the RDMA-read path for
+        #: this peer entirely)
+        self.zc_threshold = channel.ch_cfg.zerocopy_threshold
+        #: when True, the adaptive channel elides the §5 per-call
+        #: threshold-check overhead (the RDMA-read path cannot start
+        #: new operations for this peer right now); static channels
+        #: ignore it
+        self.zc_fastpath = False
+        #: optional runtime cap on the DATA-chunk payload (finer
+        #: pipelining for latency-bound peers); None = full chunks
+        self.soft_max_payload: Optional[int] = None
         #: bytes of the outgoing stream to force through the ring path
         #: after a zero-copy registration failure (ours or, via NAK,
         #: the receiver's) — prevents an RTS/fail livelock.
@@ -89,13 +102,13 @@ class ChunkedChannel(RdmaChannel):
     PIPELINED = False
     ZEROCOPY = False
 
-    def __init__(self, rank, node, ctx, cfg, ch_cfg):
-        super().__init__(rank, node, ctx, cfg, ch_cfg)
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
         self.regcache = RegistrationCache(
-            ctx, capacity=ch_cfg.regcache_capacity,
-            enabled=ch_cfg.registration_cache,
-            metrics=self.obs.metrics.scope(f"rank{rank}.regcache"))
-        self.nslots = ch_cfg.ring_size // ch_cfg.chunk_size
+            self.ctx, capacity=self.ch_cfg.regcache_capacity,
+            enabled=self.ch_cfg.registration_cache,
+            metrics=self.obs.metrics.scope(f"rank{self.rank}.regcache"))
+        self.nslots = self.ch_cfg.ring_size // self.ch_cfg.chunk_size
         #: zero-copy sends downgraded to the ring path because *our*
         #: registration failed
         self.zc_fallbacks = 0
@@ -111,6 +124,7 @@ class ChunkedChannel(RdmaChannel):
         self._m_zc_nak = m.counter("zc_nak_sent")
         self._m_zc_fallbacks = m.counter("zc_fallbacks")
         self._m_zc_bytes_read = m.counter("zc_bytes_read")
+        self._m_credit_stalls = m.counter("credit_stalls")
 
     def _note_piggyback(self, conn: "ChunkedConnection") -> None:
         """A chunk we are posting carries the current tail pointer in
@@ -204,10 +218,20 @@ class ChunkedChannel(RdmaChannel):
                 yield from self._handle_zc_nak(conn, aux)
             conn.receiver.consume_chunk()
 
+    def _zc_check_put(self, conn: "ChunkedConnection") -> bool:
+        """Whether put() pays the §5 threshold-check/state-machine
+        overhead.  Static designs always do; the adaptive channel
+        skips it while its controller has the RDMA-read path disarmed
+        for this peer."""
+        return self.ZEROCOPY
+
+    def _zc_check_get(self, conn: "ChunkedConnection") -> bool:
+        return self.ZEROCOPY
+
     def put(self, conn: ChunkedConnection, iov: Sequence[Buffer]
             ) -> Generator[None, None, int]:
         cur = IovCursor(iov)
-        if self.ZEROCOPY:
+        if self._zc_check_put(conn):
             # §5: "the extra overhead in the implementation" — the
             # threshold check and zero-copy state machine slightly
             # increase small-message latency (7.4 -> 7.6 us)
@@ -233,7 +257,7 @@ class ChunkedChannel(RdmaChannel):
             elem = cur.element_remaining()
             if (self.ZEROCOPY and cur.at_element_start()
                     and conn.zc_suppress <= 0
-                    and elem >= self.ch_cfg.zerocopy_threshold):
+                    and elem >= conn.zc_threshold):
                 # flush any batched chunks so stream order is kept
                 yield from self._flush(conn, pending_posts)
                 pending_posts = []
@@ -244,6 +268,9 @@ class ChunkedChannel(RdmaChannel):
                     break
                 continue  # registration failed: stream via the ring
             if conn.sender.slots_free() <= 0:
+                # back-pressured: out of ring credits mid-message
+                self._m_credit_stalls.inc()
+                self.tuner.on_credit_stall(conn.peer_rank)
                 break
             yield from self._emit_data_chunk(conn, cur, pending_posts)
         yield from self._flush(conn, pending_posts)
@@ -256,11 +283,15 @@ class ChunkedChannel(RdmaChannel):
         chunk's copy overlaps this chunk's RDMA write); otherwise it is
         batched for a copy-all-then-write-all flush."""
         sender = conn.sender
-        take = min(cur.remaining(), sender.max_payload)
+        payload_cap = sender.max_payload
+        if conn.soft_max_payload is not None:
+            payload_cap = min(payload_cap, conn.soft_max_payload)
+        take = min(cur.remaining(), payload_cap)
         # never pack the head of a would-be zero-copy element behind
         # other bytes in the same chunk
         if self.ZEROCOPY:
-            limit = self._bytes_until_zcopy_element(cur, conn.zc_suppress)
+            limit = self._bytes_until_zcopy_element(
+                cur, conn.zc_suppress, conn.zc_threshold)
             if limit == 0:  # pragma: no cover - caller checks first
                 return None
             take = min(take, limit)
@@ -290,11 +321,14 @@ class ChunkedChannel(RdmaChannel):
         return None
 
     def _bytes_until_zcopy_element(self, cur: IovCursor,
-                                   suppress: int = 0) -> int:
+                                   suppress: int = 0,
+                                   threshold: Optional[int] = None) -> int:
         """Stream bytes before the next element that will go zero-copy
         (so a DATA chunk never swallows its head).  Elements whose
         start falls within the first ``suppress`` stream bytes are not
         zero-copy candidates (post-registration-failure fallback)."""
+        if threshold is None:
+            threshold = self.ch_cfg.zerocopy_threshold
         total = 0
         # walk the remaining elements without disturbing the cursor
         first = True
@@ -302,7 +336,7 @@ class ChunkedChannel(RdmaChannel):
         while i < len(cur._bufs):
             size = len(cur._bufs[i]) - (off if first else 0)
             at_start = (off == 0) if first else True
-            if (at_start and size >= self.ch_cfg.zerocopy_threshold
+            if (at_start and size >= threshold
                     and total >= suppress):
                 return total
             total += size
@@ -382,7 +416,7 @@ class ChunkedChannel(RdmaChannel):
     def get(self, conn: ChunkedConnection, iov: Sequence[Buffer]
             ) -> Generator[None, None, int]:
         cur = IovCursor(iov)
-        if self.ZEROCOPY:
+        if self._zc_check_get(conn):
             yield from self.ctx.cpu.work(
                 self.cfg.zerocopy_check_cpu / 2)
 

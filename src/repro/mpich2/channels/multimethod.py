@@ -14,20 +14,23 @@ from typing import Generator, Sequence
 
 from ...hw.memory import Buffer
 from .base import Connection, RdmaChannel
+from .registry import register
 from .shm import ShmChannel
 from .zerocopy import ZeroCopyChannel
 
 __all__ = ["MultiMethodChannel"]
 
 
+@register("multimethod")
 class MultiMethodChannel(RdmaChannel):
-    name = "multimethod"
     hint_per_connection = True
 
-    def __init__(self, rank, node, ctx, cfg, ch_cfg):
-        super().__init__(rank, node, ctx, cfg, ch_cfg)
-        self.shm = ShmChannel(rank, node, ctx, cfg, ch_cfg)
-        self.net = ZeroCopyChannel(rank, node, ctx, cfg, ch_cfg)
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
+        sub = dict(rank=self.rank, node=self.node, ctx=self.ctx,
+                   cfg=self.cfg, ch_cfg=self.ch_cfg)
+        self.shm = ShmChannel(**sub)
+        self.net = ZeroCopyChannel(**sub)
         #: expose the network regcache (the CH3-RDMA device uses it)
         self.regcache = self.net.regcache
 

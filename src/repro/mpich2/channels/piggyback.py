@@ -10,11 +10,12 @@ remaining bottleneck).
 from __future__ import annotations
 
 from .chunked import ChunkedChannel
+from .registry import register
 
 __all__ = ["PiggybackChannel"]
 
 
+@register("piggyback")
 class PiggybackChannel(ChunkedChannel):
-    name = "piggyback"
     PIPELINED = False
     ZEROCOPY = False

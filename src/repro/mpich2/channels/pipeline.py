@@ -11,11 +11,12 @@ HCA's DMA) becomes the bottleneck, capping bandwidth near
 from __future__ import annotations
 
 from .chunked import ChunkedChannel
+from .registry import register
 
 __all__ = ["PipelineChannel"]
 
 
+@register("pipeline")
 class PipelineChannel(ChunkedChannel):
-    name = "pipeline"
     PIPELINED = True
     ZEROCOPY = False

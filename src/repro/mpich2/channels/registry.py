@@ -1,0 +1,86 @@
+"""Name-based channel registry and factory.
+
+Channel designs self-register under their paper name::
+
+    from repro.mpich2.channels import register, create
+
+    @register("mydesign")
+    class MyChannel(RdmaChannel):
+        ...
+
+    chan = create("mydesign", rank=0, node=node, ctx=ctx,
+                  cfg=HardwareConfig(), ch_cfg=ChannelConfig())
+
+Everything above the channel layer (``mpi.runner``, the cluster
+builder, the benchmark harness, the FIFO property suite) selects
+designs by name string through :func:`create`; registering a new
+design automatically enrolls it in the registry-driven tests.
+
+``CHANNELS`` remains as the live name → class mapping for existing
+code; mutating it directly is equivalent to registering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ...config import ChannelConfig, HardwareConfig
+from .base import ChannelError, RdmaChannel
+
+__all__ = ["register", "create", "names", "lookup", "CHANNELS"]
+
+#: the live registry: design name -> channel class
+CHANNELS: Dict[str, Type[RdmaChannel]] = {}
+
+
+def register(name: str):
+    """Class decorator: enroll a :class:`RdmaChannel` subclass under
+    ``name``.  Re-registering the *same* class is idempotent; claiming
+    an existing name with a different class raises."""
+    if not name or not isinstance(name, str):
+        raise ValueError(f"channel name must be a non-empty string, "
+                         f"got {name!r}")
+
+    def decorate(cls: Type[RdmaChannel]) -> Type[RdmaChannel]:
+        existing = CHANNELS.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"channel name {name!r} already registered to "
+                f"{existing.__name__}")
+        cls.name = name
+        CHANNELS[name] = cls
+        return cls
+
+    return decorate
+
+
+def names() -> tuple:
+    """All registered design names, sorted."""
+    return tuple(sorted(CHANNELS))
+
+
+def lookup(name: str) -> Type[RdmaChannel]:
+    """The class registered under ``name`` (raises ``ChannelError``
+    with the valid names on a miss)."""
+    try:
+        return CHANNELS[name]
+    except KeyError:
+        raise ChannelError(
+            f"unknown channel design {name!r}; registered designs: "
+            f"{', '.join(names())}") from None
+
+
+def create(name: str, *, rank: int, node, ctx,
+           cfg: Optional[HardwareConfig] = None,
+           ch_cfg: Optional[ChannelConfig] = None,
+           tune=None) -> RdmaChannel:
+    """Instantiate the design registered under ``name``.
+
+    Keyword-only by design: the five construction parameters are easy
+    to transpose positionally (and ``tune`` is new), so the factory —
+    like the channel constructors themselves — takes names."""
+    cls = lookup(name)
+    return cls(rank=rank, node=node, ctx=ctx,
+               cfg=cfg if cfg is not None else HardwareConfig(),
+               ch_cfg=ch_cfg if ch_cfg is not None else ChannelConfig(),
+               tune=tune)

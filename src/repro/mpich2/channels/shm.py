@@ -15,8 +15,9 @@ from typing import Generator, Sequence
 
 from ...hw.memory import Buffer
 from ...sim.sync import Gate
-from .base import (ChannelError, Connection, IovCursor, RdmaChannel,
-                   iov_total)
+from .base import (ChannelBrokenError, ChannelError, Connection,
+                   IovCursor, RdmaChannel, iov_total)
+from .registry import register
 
 __all__ = ["ShmChannel", "ShmConnection"]
 
@@ -28,6 +29,9 @@ class _SharedRing:
 
     def __init__(self, node, size: int):
         self.size = size
+        #: set by either end's finalize; a put/get on a closed ring is
+        #: a use-after-teardown race and raises ChannelBrokenError
+        self.closed = False
         self.ring = node.alloc(size, "shm.ring")
         self.head_word = node.alloc(_PTR_SIZE, "shm.head")
         self.tail_word = node.alloc(_PTR_SIZE, "shm.tail")
@@ -55,8 +59,8 @@ class ShmConnection(Connection):
         self.gate: Gate = gate
 
 
+@register("shm")
 class ShmChannel(RdmaChannel):
-    name = "shm"
     hint_per_connection = True
 
     @classmethod
@@ -77,6 +81,10 @@ class ShmChannel(RdmaChannel):
     def put(self, conn: ShmConnection, iov: Sequence[Buffer]
             ) -> Generator[None, None, int]:
         ring = conn.out_ring
+        if ring.closed:
+            raise ChannelBrokenError(
+                f"shared-memory segment to rank {conn.peer_rank} was "
+                f"torn down (peer finalized); put raced with teardown")
         free = ring.size - (ring.head() - ring.tail())
         n = min(free, iov_total(iov))
         if n <= 0:
@@ -101,6 +109,10 @@ class ShmChannel(RdmaChannel):
     def get(self, conn: ShmConnection, iov: Sequence[Buffer]
             ) -> Generator[None, None, int]:
         ring = conn.in_ring
+        if ring.closed:
+            raise ChannelBrokenError(
+                f"shared-memory segment from rank {conn.peer_rank} was "
+                f"torn down (peer finalized); get raced with teardown")
         avail = ring.head() - ring.tail()
         n = min(avail, iov_total(iov))
         if n <= 0:
@@ -121,3 +133,18 @@ class ShmChannel(RdmaChannel):
         ring.set_tail(tail + n)
         conn.gate.open()
         return n
+
+    def finalize(self) -> Generator:
+        """Tear down the shared segments.  Both directions' rings are
+        marked closed so a peer still inside put/get fails loudly with
+        :class:`ChannelBrokenError` instead of copying through freed
+        memory; the gates open so a peer sleeping in the progress
+        engine wakes up to observe the teardown."""
+        if not self.finalized:
+            for conn in self.conns.values():
+                conn.out_ring.closed = True
+                conn.in_ring.closed = True
+                conn.gate.open()
+        self.finalized = True
+        return None
+        yield  # pragma: no cover - makes this a generator

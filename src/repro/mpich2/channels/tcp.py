@@ -15,8 +15,9 @@ from typing import Deque, Generator, Sequence, Tuple
 
 from ...hw.memory import Buffer
 from ...net.ipoib import TcpConnection, TcpStack
-from .base import ChannelError, Connection, IovCursor, RdmaChannel, \
-    iov_total
+from .base import (ChannelBrokenError, ChannelError, Connection,
+                   IovCursor, RdmaChannel, iov_total)
+from .registry import register
 
 __all__ = ["TcpChannel", "TcpChannelConnection"]
 
@@ -42,14 +43,25 @@ class TcpChannelConnection(Connection):
     def in_dir(self) -> int:
         return 1 - self.end
 
+    @property
+    def closed(self) -> bool:
+        """True once either end's finalize closed the socket pair
+        (the flag lives on the shared TcpConnection)."""
+        return tcp_closed(self.tcp)
 
+
+def tcp_closed(tcp: TcpConnection) -> bool:
+    return tcp.__dict__.get("_closed", False)
+
+
+@register("tcp")
 class TcpChannel(RdmaChannel):
-    name = "tcp"
     hint_per_connection = True
 
-    def __init__(self, rank, node, ctx, cfg, ch_cfg):
-        super().__init__(rank, node, ctx, cfg, ch_cfg)
-        self.stack = TcpStack(node.cluster.sim, node, cfg)
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
+        self.stack = TcpStack(self.node.cluster.sim, self.node,
+                              self.cfg)
 
     @classmethod
     def establish(cls, a: "TcpChannel", b: "TcpChannel") -> None:
@@ -68,6 +80,10 @@ class TcpChannel(RdmaChannel):
 
     def put(self, conn: TcpChannelConnection, iov: Sequence[Buffer]
             ) -> Generator[None, None, int]:
+        if conn.closed:
+            raise ChannelBrokenError(
+                f"TCP connection to rank {conn.peer_rank} is closed "
+                f"(peer finalized); put raced with socket teardown")
         total = iov_total(iov)
         cur = IovCursor(iov)
         sent = 0
@@ -86,14 +102,30 @@ class TcpChannel(RdmaChannel):
                 cur.advance(len(piece))
                 left -= len(piece)
             conn.fifo[conn.out_dir].append(b"".join(chunks))
-            yield from conn.tcp.send(conn.out_dir, n)
+            try:
+                yield from conn.tcp.send(conn.out_dir, n)
+            except (OSError, RuntimeError) as exc:
+                # kernel-stack failure surfaces through the unified
+                # channel error hierarchy, never as a raw socket error
+                raise ChannelBrokenError(
+                    f"TCP send to rank {conn.peer_rank} failed: {exc}"
+                ) from exc
             sent += n
         return sent
 
     def get(self, conn: TcpChannelConnection, iov: Sequence[Buffer]
             ) -> Generator[None, None, int]:
+        if conn.closed:
+            raise ChannelBrokenError(
+                f"TCP connection from rank {conn.peer_rank} is closed "
+                f"(peer finalized); get raced with socket teardown")
         want = iov_total(iov)
-        n = yield from conn.tcp.recv(conn.in_dir, want)
+        try:
+            n = yield from conn.tcp.recv(conn.in_dir, want)
+        except (OSError, RuntimeError) as exc:
+            raise ChannelBrokenError(
+                f"TCP recv from rank {conn.peer_rank} failed: {exc}"
+            ) from exc
         if n <= 0:
             return 0
         # drain n bytes from the payload FIFO into the iov
@@ -115,3 +147,14 @@ class TcpChannel(RdmaChannel):
                 fifo.popleft()
                 conn.head_off = 0
         return n
+
+    def finalize(self) -> Generator:
+        """Close every socket pair (the flag is shared with the peer
+        end, so its next put/get observes the teardown as a
+        :class:`ChannelBrokenError` rather than hanging)."""
+        if not self.finalized:
+            for conn in self.conns.values():
+                conn.tcp.__dict__["_closed"] = True
+        self.finalized = True
+        return None
+        yield  # pragma: no cover - makes this a generator

@@ -15,11 +15,12 @@ state machinery.
 from __future__ import annotations
 
 from .chunked import ChunkedChannel
+from .registry import register
 
 __all__ = ["ZeroCopyChannel"]
 
 
+@register("zerocopy")
 class ZeroCopyChannel(ChunkedChannel):
-    name = "zerocopy"
     PIPELINED = True
     ZEROCOPY = True

@@ -40,6 +40,9 @@ HIGHER_IS_BETTER = {
     "bandwidth_MBps": True,
     "latency_us": False,
     "time_s": False,
+    "phased_s": False,
+    "nas_cg_s": False,
+    "nas_mg_s": False,
 }
 
 

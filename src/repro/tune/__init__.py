@@ -1,0 +1,20 @@
+"""Adaptive protocol tuning: closing the loop on the observability
+metrics (see :mod:`repro.tune.controller` for the design).
+
+Entry points:
+
+* :class:`TuneConfig` — bounds/cadence; ``TuneConfig.off()`` is the
+  stack-wide default (bit-for-bit identical to the untuned stack).
+* :class:`AdaptiveController` — the per-rank, per-peer controller.
+* :data:`NULL_TUNER` — the disabled stand-in all channels carry by
+  default.
+
+Run the adaptive stack with ``run_mpi(n, prog, design="adaptive")``.
+"""
+
+from .config import TuneConfig
+from .controller import (NULL_TUNER, PROTO_READ, PROTO_WRITE,
+                         THRESHOLD_OFF, AdaptiveController, NullTuner)
+
+__all__ = ["TuneConfig", "AdaptiveController", "NullTuner",
+           "NULL_TUNER", "PROTO_WRITE", "PROTO_READ", "THRESHOLD_OFF"]

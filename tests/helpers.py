@@ -7,19 +7,21 @@ from typing import List, Optional, Sequence, Tuple
 from repro.cluster import Cluster, build_cluster
 from repro.config import ChannelConfig, HardwareConfig
 from repro.hw.memory import Buffer
-from repro.mpich2.channels import CHANNELS, advance_iov, iov_total
+from repro.mpich2.channels import (advance_iov, create, iov_total,
+                                   lookup)
 
 __all__ = ["make_channel_pair", "put_all", "get_all", "run_procs"]
 
 
 def make_channel_pair(design: str, cfg: Optional[HardwareConfig] = None,
                       ch_cfg: Optional[ChannelConfig] = None,
-                      faults=None, obs=None):
+                      faults=None, obs=None, tune=None):
     """Build a cluster with two connected channel endpoints of the
     given design; returns (cluster, chan0, chan1, conn0, conn1).
     ``faults`` is an optional :class:`repro.faults.FaultPlan`;
-    ``obs`` an optional :class:`repro.obs.Observability`."""
-    cls = CHANNELS[design]
+    ``obs`` an optional :class:`repro.obs.Observability`; ``tune`` an
+    optional :class:`repro.tune.TuneConfig`."""
+    cls = lookup(design)
     cfg = cfg or HardwareConfig()
     ch_cfg = ch_cfg or ChannelConfig()
     if design == "shm":
@@ -30,8 +32,10 @@ def make_channel_pair(design: str, cfg: Optional[HardwareConfig] = None,
         cluster = build_cluster(2, cfg, faults=faults, obs=obs)
         n0, n1 = cluster.nodes
         ctx0, ctx1 = n0.vapi(0), n1.vapi(0)
-    ch0 = cls(0, n0, ctx0, cfg, ch_cfg)
-    ch1 = cls(1, n1, ctx1, cfg, ch_cfg)
+    ch0 = create(design, rank=0, node=n0, ctx=ctx0, cfg=cfg,
+                 ch_cfg=ch_cfg, tune=tune)
+    ch1 = create(design, rank=1, node=n1, ctx=ctx1, cfg=cfg,
+                 ch_cfg=ch_cfg, tune=tune)
     ch0.initialize(2)
     ch1.initialize(2)
     cls.establish(ch0, ch1)

@@ -1,0 +1,96 @@
+"""The unified channel error hierarchy.
+
+Every transport — IB ring, TCP/IPoIB, shared memory — signals failure
+through :class:`ChannelError` / :class:`ChannelBrokenError`; no raw
+``OSError``/``RuntimeError`` escapes the channel layer, so callers
+need exactly one ``except ChannelError`` clause.
+"""
+
+import pytest
+
+from repro.mpich2.channels import ChannelBrokenError, ChannelError
+
+from helpers import get_all, make_channel_pair, put_all, run_procs
+
+
+def _attempt(op, conn, buf):
+    """Run a channel op inside the simulation; return the exception
+    class it raised (or None)."""
+    try:
+        yield from op(conn, [buf])
+    except Exception as exc:
+        return type(exc)
+    return None
+
+
+class TestHierarchy:
+    def test_broken_is_a_channel_error(self):
+        assert issubclass(ChannelBrokenError, ChannelError)
+        assert issubclass(ChannelError, Exception)
+
+    def test_single_except_clause_suffices(self):
+        try:
+            raise ChannelBrokenError("transport died")
+        except ChannelError as exc:
+            assert "died" in str(exc)
+
+
+@pytest.mark.parametrize("design", ["tcp", "shm"])
+class TestTeardownRaces:
+    """A put/get racing the peer's finalize must fail loudly with
+    ChannelBrokenError — never hang, never surface a socket error or
+    copy through freed shared memory."""
+
+    def test_put_after_peer_finalize(self, design):
+        cluster, ch0, ch1, conn0, _conn1 = make_channel_pair(design)
+        buf = ch0.node.alloc(1024, "err.put")
+
+        def scenario():
+            yield from ch1.finalize()
+            return (yield from _attempt(ch0.put, conn0, buf))
+
+        [raised] = run_procs(cluster, scenario())
+        assert raised is ChannelBrokenError
+
+    def test_get_after_peer_finalize(self, design):
+        cluster, ch0, ch1, _conn0, conn1 = make_channel_pair(design)
+        buf = ch1.node.alloc(1024, "err.get")
+
+        def scenario():
+            yield from ch0.finalize()
+            return (yield from _attempt(ch1.get, conn1, buf))
+
+        [raised] = run_procs(cluster, scenario())
+        assert raised is ChannelBrokenError
+
+    def test_broken_caught_as_channel_error(self, design):
+        cluster, ch0, ch1, conn0, _conn1 = make_channel_pair(design)
+        buf = ch0.node.alloc(512, "err.cue")
+
+        def scenario():
+            yield from ch1.finalize()
+            try:
+                yield from ch0.put(conn0, [buf])
+            except ChannelError:
+                return "caught"
+            return "missed"
+
+        assert run_procs(cluster, scenario()) == ["caught"]
+
+
+class TestHealthyPathsUnaffected:
+    @pytest.mark.parametrize("design", ["tcp", "shm"])
+    def test_put_get_round_trip_still_works(self, design):
+        cluster, ch0, ch1, conn0, conn1 = make_channel_pair(design)
+        src = ch0.node.alloc(2048, "ok.src")
+        dst = ch1.node.alloc(2048, "ok.dst")
+        src.view()[:] = 0x3C
+
+        def sender():
+            return (yield from put_all(cluster, ch0, conn0, [src]))
+
+        def receiver():
+            return (yield from get_all(cluster, ch1, conn1, [dst]))
+
+        assert run_procs(cluster, sender(), receiver()) == [2048, 2048]
+        assert bytes(dst.view()) == b"\x3c" * 2048

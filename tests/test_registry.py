@@ -1,0 +1,99 @@
+"""The channel registry/factory API: register, lookup, names, create."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.config import ChannelConfig, HardwareConfig
+from repro.mpich2.channels import (CHANNELS, AdaptiveChannel,
+                                   BasicChannel, ChannelError,
+                                   PipelineChannel, RdmaChannel,
+                                   ZeroCopyChannel, create, lookup,
+                                   names, register)
+
+EXPECTED = {"shm", "basic", "piggyback", "pipeline", "zerocopy",
+            "multimethod", "tcp", "adaptive"}
+
+
+class TestRegistry:
+    def test_all_designs_registered(self):
+        assert EXPECTED <= set(names())
+
+    def test_names_sorted(self):
+        assert list(names()) == sorted(names())
+
+    def test_lookup_returns_class(self):
+        assert lookup("zerocopy") is ZeroCopyChannel
+        assert lookup("basic") is BasicChannel
+        assert lookup("adaptive") is AdaptiveChannel
+
+    def test_register_sets_name_attribute(self):
+        assert ZeroCopyChannel.name == "zerocopy"
+        assert PipelineChannel.name == "pipeline"
+
+    def test_lookup_unknown_raises_with_valid_names(self):
+        with pytest.raises(ChannelError) as exc:
+            lookup("vapi")
+        msg = str(exc.value)
+        assert "vapi" in msg
+        # the error enumerates the valid choices
+        assert "zerocopy" in msg and "pipeline" in msg
+
+    def test_reregistering_same_class_is_idempotent(self):
+        assert register("zerocopy")(ZeroCopyChannel) is ZeroCopyChannel
+        assert CHANNELS["zerocopy"] is ZeroCopyChannel
+
+    def test_name_collision_raises(self):
+        class Impostor(RdmaChannel):
+            pass
+
+        with pytest.raises(ValueError, match="already registered"):
+            register("zerocopy")(Impostor)
+        assert CHANNELS["zerocopy"] is ZeroCopyChannel
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            register("")
+        with pytest.raises(ValueError):
+            register(None)
+
+    def test_new_design_enrolls_and_unregisters(self):
+        @register("_test_design")
+        class TestDesign(BasicChannel):
+            pass
+
+        try:
+            assert lookup("_test_design") is TestDesign
+            assert "_test_design" in names()
+            assert TestDesign.name == "_test_design"
+        finally:
+            del CHANNELS["_test_design"]
+        assert "_test_design" not in names()
+
+
+class TestFactory:
+    def test_create_builds_connected_channel(self):
+        cfg = HardwareConfig()
+        cluster = build_cluster(2, cfg)
+        n0, n1 = cluster.nodes
+        ch0 = create("zerocopy", rank=0, node=n0, ctx=n0.vapi(0),
+                     cfg=cfg, ch_cfg=ChannelConfig())
+        assert isinstance(ch0, ZeroCopyChannel)
+        assert ch0.rank == 0
+
+    def test_create_defaults_configs(self):
+        cluster = build_cluster(1, HardwareConfig())
+        n0 = cluster.nodes[0]
+        ch = create("basic", rank=0, node=n0, ctx=n0.vapi(0))
+        assert isinstance(ch, BasicChannel)
+
+    def test_create_unknown_raises_channel_error(self):
+        cluster = build_cluster(1, HardwareConfig())
+        n0 = cluster.nodes[0]
+        with pytest.raises(ChannelError, match="unknown channel"):
+            create("nope", rank=0, node=n0, ctx=n0.vapi(0))
+
+    def test_create_is_keyword_only(self):
+        cluster = build_cluster(1, HardwareConfig())
+        n0 = cluster.nodes[0]
+        with pytest.raises(TypeError):
+            create("basic", 0, n0, n0.vapi(0))
