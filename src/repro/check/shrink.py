@@ -1,0 +1,194 @@
+"""Shrinking failing cases and replay files.
+
+A failing conformance case is the tuple (spec, design, tie_seed,
+fault plan).  :func:`shrink` greedily minimizes it while the failure
+persists: drop the fault plan and perturbation seed if they are not
+needed, drop whole phases, drop individual messages/ops, then shrink
+message sizes and counts.  Each candidate is re-run, so shrinking is
+bounded by ``max_runs`` property evaluations.
+
+The result is written as a *replay file* — a small JSON document that
+:func:`load_replay` turns back into the exact failing run.  Replay
+files are what the nightly fuzz job uploads as artifacts and what the
+golden-replay regression corpus is made of.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Tuple
+
+from ..faults import FaultPlan
+from . import oracle
+from .differ import run_spec
+from .spec import (CollectivePhase, OneSidedPhase, P2PPhase,
+                   WorkloadSpec)
+
+__all__ = ["ShrinkResult", "shrink", "write_replay", "load_replay",
+           "replay"]
+
+REPLAY_VERSION = 1
+
+
+@dataclass
+class ShrinkResult:
+    spec: WorkloadSpec
+    design: str
+    tie_seed: Optional[int]
+    fault_plan: Optional[FaultPlan]
+    failures: List[str]
+    runs: int
+
+
+def _default_property(spec: WorkloadSpec, design: str,
+                      tie_seed: Optional[int],
+                      plan: Optional[FaultPlan]) -> List[str]:
+    obs = run_spec(spec, design, tie_seed=tie_seed, faults=plan)
+    return oracle.check(spec, obs)
+
+
+def shrink(spec: WorkloadSpec, design: str,
+           tie_seed: Optional[int] = None,
+           fault_plan: Optional[FaultPlan] = None,
+           prop: Optional[Callable] = None,
+           max_runs: int = 120) -> ShrinkResult:
+    """Greedy delta-debugging of one failing case.  ``prop`` returns
+    the failure list of a candidate (empty == passes); the default
+    re-runs the spec and checks it against the expected model."""
+    prop = prop or _default_property
+    budget = [max_runs]
+    state = {"spec": spec, "tie_seed": tie_seed, "plan": fault_plan,
+             "failures": ["<unverified>"]}
+
+    def still_fails(cand_spec, cand_tie, cand_plan) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            cand_spec.validate()
+            failures = prop(cand_spec, design, cand_tie, cand_plan)
+        except Exception:
+            return False  # invalid candidate: not a reduction
+        if failures:
+            state.update(spec=cand_spec, tie_seed=cand_tie,
+                         plan=cand_plan, failures=failures)
+            return True
+        return False
+
+    # confirm the starting point actually fails
+    if not still_fails(spec, tie_seed, fault_plan):
+        return ShrinkResult(spec, design, tie_seed, fault_plan, [],
+                            max_runs - budget[0])
+
+    # 1. drop the extras first: they halve the search space
+    if state["plan"] is not None:
+        still_fails(state["spec"], state["tie_seed"], None)
+    if state["tie_seed"] is not None:
+        still_fails(state["spec"], None, state["plan"])
+
+    # 2. drop whole phases until a fixed point
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        phases = state["spec"].phases
+        for i in range(len(phases) - 1, -1, -1):
+            cand = replace(state["spec"],
+                           phases=phases[:i] + phases[i + 1:])
+            if still_fails(cand, state["tie_seed"], state["plan"]):
+                changed = True
+                break
+
+    # 3. drop individual messages / RMA ops
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        phases = state["spec"].phases
+        for p, ph in enumerate(phases):
+            items = (ph.messages if isinstance(ph, P2PPhase)
+                     else ph.ops if isinstance(ph, OneSidedPhase)
+                     else None)
+            if not items or len(items) <= 1:
+                continue
+            for i in range(len(items) - 1, -1, -1):
+                trimmed = items[:i] + items[i + 1:]
+                new_ph = (replace(ph, messages=trimmed)
+                          if isinstance(ph, P2PPhase)
+                          else replace(ph, ops=trimmed))
+                cand = replace(state["spec"],
+                               phases=phases[:p] + (new_ph,)
+                               + phases[p + 1:])
+                if still_fails(cand, state["tie_seed"],
+                               state["plan"]):
+                    changed = True
+                    break
+            if changed:
+                break
+
+    # 4. shrink sizes and counts
+    for p, ph in enumerate(state["spec"].phases):
+        if isinstance(ph, P2PPhase):
+            for i, m in enumerate(ph.messages):
+                for smaller in (1, 64, m.size // 2):
+                    if not 0 < smaller < m.size:
+                        continue
+                    cur = state["spec"].phases[p]
+                    msgs = (cur.messages[:i]
+                            + (replace(cur.messages[i],
+                                       size=smaller),)
+                            + cur.messages[i + 1:])
+                    cand = replace(
+                        state["spec"],
+                        phases=state["spec"].phases[:p]
+                        + (replace(cur, messages=msgs),)
+                        + state["spec"].phases[p + 1:])
+                    if still_fails(cand, state["tie_seed"],
+                                   state["plan"]):
+                        break
+        elif isinstance(ph, CollectivePhase) and ph.count > 1:
+            cand = replace(
+                state["spec"],
+                phases=state["spec"].phases[:p]
+                + (replace(ph, count=1),)
+                + state["spec"].phases[p + 1:])
+            still_fails(cand, state["tie_seed"], state["plan"])
+
+    return ShrinkResult(state["spec"], design, state["tie_seed"],
+                        state["plan"], list(state["failures"]),
+                        max_runs - budget[0])
+
+
+# ---------------------------------------------------------------------
+# replay files
+# ---------------------------------------------------------------------
+
+def write_replay(path, result: ShrinkResult) -> None:
+    doc = {
+        "version": REPLAY_VERSION,
+        "spec": result.spec.to_dict(),
+        "design": result.design,
+        "tie_seed": result.tie_seed,
+        "fault_plan": (result.fault_plan.to_dict()
+                       if result.fault_plan else None),
+        "failures": result.failures,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_replay(path) -> Tuple[WorkloadSpec, str, Optional[int],
+                               Optional[FaultPlan]]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    spec = WorkloadSpec.from_dict(doc["spec"])
+    plan = (FaultPlan.from_dict(doc["fault_plan"])
+            if doc.get("fault_plan") else None)
+    return spec, doc["design"], doc.get("tie_seed"), plan
+
+
+def replay(path) -> List[str]:
+    """Re-run a replay file; returns the current failure list."""
+    spec, design, tie_seed, plan = load_replay(path)
+    obs = run_spec(spec, design, tie_seed=tie_seed, faults=plan)
+    return oracle.check(spec, obs)

@@ -1,0 +1,252 @@
+"""Replayable workload specifications for the conformance harness.
+
+A :class:`WorkloadSpec` is a pure-data description of one randomized
+MPI program: an ordered list of *phases* (point-to-point exchanges,
+collectives, derived-datatype transfers, one-sided epochs, compute
+delays) plus the knobs needed to rebuild the exact run (seed, rank
+count, channel-config overrides, simulated-time cap).
+
+Specs are deliberately dumb: every byte a rank sends, every expected
+delivery, and every collective result is a deterministic function of
+the spec alone (see :mod:`repro.check.oracle`).  That is what lets the
+differential runner execute one spec on every channel design and
+compare the outcomes, and what makes a failing spec replayable from a
+small JSON file.
+
+Wildcard receives are constrained so that matching can never deadlock:
+within one p2p phase each receiving rank uses a single *receive mode*
+("exact", "any_source", "any_tag" or "any").  A uniform mode
+partitions the posted receives into classes (by (src, tag), by tag,
+by src, or one class) in which message and receive counts are exactly
+balanced, so by Hall's theorem every arrival finds an eligible
+receive regardless of timing.  Mixed partial wildcards would break
+that guarantee and turn legal schedule variation into spurious hangs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "P2PMessage", "P2PPhase", "CollectivePhase", "DatatypePhase",
+    "RmaOp", "OneSidedPhase", "ComputePhase", "WorkloadSpec",
+    "RECV_MODES", "COLLECTIVE_OPS", "RMA_KINDS", "SPEC_VERSION",
+]
+
+SPEC_VERSION = 1
+
+#: legal per-rank receive modes of a p2p phase (see module docstring).
+RECV_MODES = ("exact", "any_source", "any_tag", "any")
+
+#: collectives the generator may emit.  All use exact integer-valued
+#: float64 data, so reductions are bitwise order-independent.
+COLLECTIVE_OPS = ("barrier", "bcast", "reduce", "allreduce", "gather",
+                  "scatter", "allgather", "alltoall", "scan")
+
+#: one-sided operation kinds.
+RMA_KINDS = ("put", "get", "acc")
+
+
+@dataclass(frozen=True)
+class P2PMessage:
+    """One point-to-point message: ``src`` sends ``size`` bytes with
+    ``tag`` to ``dst``."""
+    src: int
+    dst: int
+    tag: int
+    size: int
+
+
+@dataclass(frozen=True)
+class P2PPhase:
+    """A batch of point-to-point messages.
+
+    Every receiving rank posts all its receives up front (in spec
+    order, or reversed when ``post_reversed``), then issues its sends
+    in spec order, then waits.  ``recv_modes`` maps ranks (as string
+    keys, for JSON) to a :data:`RECV_MODES` entry; omitted ranks use
+    "exact".  ``blocking`` switches sends to blocking mode with one
+    reused staging buffer per destination — the legal buffer-reuse
+    pattern that exposes protocols acknowledging rendezvous data
+    before it was actually pulled."""
+    kind: str = field(default="p2p", init=False)
+    messages: Tuple[P2PMessage, ...] = ()
+    recv_modes: Dict[str, str] = field(default_factory=dict)
+    post_reversed: bool = False
+    blocking: bool = False
+
+    def mode_of(self, rank: int) -> str:
+        return self.recv_modes.get(str(rank), "exact")
+
+
+@dataclass(frozen=True)
+class CollectivePhase:
+    """One collective over COMM_WORLD.  ``count`` is the per-rank
+    element count (float64)."""
+    kind: str = field(default="collective", init=False)
+    op: str = "barrier"
+    root: int = 0
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class DatatypePhase:
+    """One derived-datatype (MPI_Type_vector) transfer src -> dst:
+    ``count`` datatype elements, each ``blocks`` blocks of
+    ``blocklength`` doubles, block starts ``stride`` doubles apart."""
+    kind: str = field(default="datatype", init=False)
+    src: int = 0
+    dst: int = 1
+    tag: int = 0
+    count: int = 1
+    blocks: int = 2
+    blocklength: int = 1
+    stride: int = 2
+
+
+@dataclass(frozen=True)
+class RmaOp:
+    """One RMA operation.  ``put``/``acc`` write the origin's slice
+    (slice index == origin rank) of the target window during the
+    first epoch; ``get`` reads slice ``slice`` of the target window
+    during the second (read-only) epoch."""
+    op: str
+    origin: int
+    target: int
+    slice: int = 0
+
+
+@dataclass(frozen=True)
+class OneSidedPhase:
+    """One fence-delimited RMA phase.  Each rank exposes a window of
+    ``slot * nranks`` bytes; slice ``r`` (``[r*slot, (r+1)*slot)``)
+    may be written by origin ``r`` only, so concurrent epoch-one
+    writes never conflict and the post-fence window contents are a
+    pure function of the spec.  ``slot`` must be a multiple of 8
+    (accumulate runs in float64)."""
+    kind: str = field(default="onesided", init=False)
+    slot: int = 64
+    ops: Tuple[RmaOp, ...] = ()
+
+
+@dataclass(frozen=True)
+class ComputePhase:
+    """Per-rank compute delays (seconds); desynchronizes the ranks to
+    steer later phases onto the unexpected-message path."""
+    kind: str = field(default="compute", init=False)
+    seconds: Tuple[float, ...] = ()
+
+
+_PHASE_TYPES = {
+    "p2p": P2PPhase,
+    "collective": CollectivePhase,
+    "datatype": DatatypePhase,
+    "onesided": OneSidedPhase,
+    "compute": ComputePhase,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One replayable randomized workload."""
+    seed: int
+    nranks: int
+    phases: Tuple = ()
+    #: optional ChannelConfig field overrides ({"ring_size": ...}).
+    ch_cfg: Optional[Dict[str, int]] = None
+    #: simulated-seconds cap for one run of this spec; a run that has
+    #: unfinished ranks at the cap is reported as a hang.
+    time_cap: float = 0.5
+    version: int = SPEC_VERSION
+
+    # -- validation ----------------------------------------------------
+    def validate(self) -> None:
+        if self.nranks < 2:
+            raise ValueError("specs need at least 2 ranks")
+        for p, ph in enumerate(self.phases):
+            where = f"phase {p} ({ph.kind})"
+            if isinstance(ph, P2PPhase):
+                for m in ph.messages:
+                    if not (0 <= m.src < self.nranks
+                            and 0 <= m.dst < self.nranks):
+                        raise ValueError(f"{where}: rank out of range")
+                    if m.src == m.dst:
+                        raise ValueError(f"{where}: self-message")
+                    if m.size < 1:
+                        raise ValueError(f"{where}: empty message")
+                for mode in ph.recv_modes.values():
+                    if mode not in RECV_MODES:
+                        raise ValueError(f"{where}: bad mode {mode!r}")
+            elif isinstance(ph, CollectivePhase):
+                if ph.op not in COLLECTIVE_OPS:
+                    raise ValueError(f"{where}: bad op {ph.op!r}")
+                if not 0 <= ph.root < self.nranks:
+                    raise ValueError(f"{where}: root out of range")
+                if ph.count < 1:
+                    raise ValueError(f"{where}: empty collective")
+            elif isinstance(ph, DatatypePhase):
+                if ph.src == ph.dst:
+                    raise ValueError(f"{where}: self-transfer")
+                if ph.stride < ph.blocklength:
+                    raise ValueError(f"{where}: stride < blocklength")
+            elif isinstance(ph, OneSidedPhase):
+                if ph.slot % 8 or ph.slot < 8:
+                    raise ValueError(f"{where}: slot must be a "
+                                     "positive multiple of 8")
+                writes = set()
+                for op in ph.ops:
+                    if op.op not in RMA_KINDS:
+                        raise ValueError(f"{where}: bad op {op.op!r}")
+                    if op.origin == op.target:
+                        raise ValueError(f"{where}: self-target")
+                    if op.op in ("put", "acc"):
+                        key = (op.target, op.origin)
+                        if key in writes:
+                            raise ValueError(
+                                f"{where}: two writes to slice "
+                                f"{op.origin} of window {op.target}")
+                        writes.add(key)
+            elif isinstance(ph, ComputePhase):
+                if len(ph.seconds) != self.nranks:
+                    raise ValueError(f"{where}: needs one delay "
+                                     "per rank")
+            else:
+                raise ValueError(f"{where}: unknown phase type")
+
+    # -- JSON ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["phases"] = [asdict(ph) for ph in self.phases]
+        return d
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkloadSpec":
+        phases = []
+        for pd in d.get("phases", ()):
+            pd = dict(pd)
+            kind = pd.pop("kind")
+            ptype = _PHASE_TYPES[kind]
+            if ptype is P2PPhase:
+                pd["messages"] = tuple(P2PMessage(**m)
+                                       for m in pd.get("messages", ()))
+            elif ptype is OneSidedPhase:
+                pd["ops"] = tuple(RmaOp(**o) for o in pd.get("ops", ()))
+            elif ptype is ComputePhase:
+                pd["seconds"] = tuple(pd.get("seconds", ()))
+            phases.append(ptype(**pd))
+        spec = cls(seed=d["seed"], nranks=d["nranks"],
+                   phases=tuple(phases), ch_cfg=d.get("ch_cfg"),
+                   time_cap=d.get("time_cap", 0.5),
+                   version=d.get("version", SPEC_VERSION))
+        spec.validate()
+        return spec
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadSpec":
+        return cls.from_dict(json.loads(text))

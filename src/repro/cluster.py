@@ -59,11 +59,15 @@ class Cluster:
     def __init__(self, nnodes: int, cfg: Optional[HardwareConfig] = None,
                  ncpus_per_node: int = 2,
                  faults: Optional[FaultPlan] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 tie_seed: Optional[int] = None):
         if nnodes < 1:
             raise ValueError("need at least one node")
         self.cfg = cfg or HardwareConfig()
-        self.sim = Simulator()
+        #: ``tie_seed`` selects the engine's same-timestamp tie-break
+        #: policy (None = insertion order, bit-for-bit the historical
+        #: schedule; see :class:`repro.sim.engine.Simulator`).
+        self.sim = Simulator(tie_seed=tie_seed)
         self.net = FluidNetwork(self.sim)
         self.fabric = Fabric(self.sim, self.net, self.cfg)
         #: cluster-wide fault-injection state, shared by every HCA
@@ -107,5 +111,8 @@ def build_cluster(nnodes: int, cfg: Optional[HardwareConfig] = None,
     imperfect in a deterministic, seed-driven way; omitted or empty,
     the cluster behaves exactly as before.  ``obs`` (a
     :class:`repro.obs.Observability`) records per-layer counters and
-    timeline spans without perturbing simulated time."""
+    timeline spans without perturbing simulated time.  ``tie_seed``
+    (an int) enables the seeded schedule-perturbation tie-break for
+    same-timestamp events; omitted, the schedule is bit-for-bit the
+    historical insertion order."""
     return Cluster(nnodes, cfg, faults=faults, obs=obs, **kw)

@@ -82,6 +82,21 @@ class LinkFaults:
         return bool(self.drop_rate or self.corrupt_rate
                     or self.delay_rate or self.down)
 
+    def to_dict(self) -> dict:
+        return {"drop_rate": self.drop_rate,
+                "corrupt_rate": self.corrupt_rate,
+                "delay_rate": self.delay_rate,
+                "delay_time": self.delay_time,
+                "down": [list(w) for w in self.down]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LinkFaults":
+        return cls(drop_rate=d.get("drop_rate", 0.0),
+                   corrupt_rate=d.get("corrupt_rate", 0.0),
+                   delay_rate=d.get("delay_rate", 0.0),
+                   delay_time=d.get("delay_time", 20e-6),
+                   down=tuple(tuple(w) for w in d.get("down", ())))
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -114,6 +129,36 @@ class FaultPlan:
     def enabled(self) -> bool:
         return (self.transport_enabled or bool(self.reg_failures)
                 or bool(self.wc_errors))
+
+    # -- JSON (replay files of the conformance harness) ----------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "default_link": self.default_link.to_dict(),
+            "links": {f"{s}->{d}": lf.to_dict()
+                      for (s, d), lf in self.links.items()},
+            "reg_failures": {str(n): k
+                             for n, k in self.reg_failures.items()},
+            "wc_errors": {str(n): list(seq)
+                          for n, seq in self.wc_errors.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        links = {}
+        for key, lf in d.get("links", {}).items():
+            s, _, t = key.partition("->")
+            links[(int(s), int(t))] = LinkFaults.from_dict(lf)
+        return cls(
+            seed=d.get("seed", 0),
+            default_link=LinkFaults.from_dict(
+                d.get("default_link", {})),
+            links=links,
+            reg_failures={int(n): k for n, k
+                          in d.get("reg_failures", {}).items()},
+            wc_errors={int(n): tuple(seq) for n, seq
+                       in d.get("wc_errors", {}).items()},
+        )
 
 
 class FaultStats:

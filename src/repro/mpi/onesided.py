@@ -60,11 +60,19 @@ class Win:
             peer_world = comm.group[peer_local]
             if peer_world == my_world_rank:
                 continue
-            key = (id(win) if my_world_rank < peer_world else None)
-            # create one QP pair per (lower, higher) ordering exactly
-            # once: the lower rank's create call builds both ends and
-            # stashes the peer's end on the peer's registry.
-            if my_world_rank < peer_world:
+            # create one QP pair per unordered rank pair exactly once:
+            # whichever rank's create call reaches the pair first
+            # builds both ends and stashes the peer's end for the
+            # peer's create call to pick up.  First-arrival (rather
+            # than lowest-rank) creation keeps the collective legal
+            # under any rank arrival order — the ranks may reach
+            # Win.create at different simulated times.
+            pair = (id(world), min(my_world_rank, peer_world),
+                    max(my_world_rank, peer_world))
+            bucket = _pending_qps.get((pair, my_world_rank))
+            if bucket:
+                win._qps[peer_local] = bucket.pop(0)
+            else:
                 peer_dev = world.devices[peer_world]
                 my_hca = device.node.hca
                 peer_hca = peer_dev.node.hca
@@ -75,14 +83,7 @@ class Win:
                 qp_a.connect(qp_b)
                 win._qps[peer_local] = qp_a
                 _pending_qps.setdefault(
-                    (peer_world, my_world_rank), []).append(qp_b)
-            else:
-                bucket = _pending_qps.get((my_world_rank, peer_world))
-                if not bucket:
-                    raise MpiError(
-                        "window QP wiring out of order — Win.create "
-                        "must be called collectively")
-                win._qps[peer_local] = bucket.pop(0)
+                    (pair, peer_world), []).append(qp_b)
         # exchange window addresses/keys (collective, charged)
         infos = yield from comm.allgather(
             (win.local.addr, win._mr.rkey, len(local)))

@@ -111,14 +111,18 @@ def build_world(nranks: int, design: str = "zerocopy",
                 nnodes: Optional[int] = None,
                 faults: Optional[FaultPlan] = None,
                 obs=None,
-                tune: Optional[TuneConfig] = None) -> World:
+                tune: Optional[TuneConfig] = None,
+                tie_seed: Optional[int] = None) -> World:
     """Construct a world: ranks round-robin over nodes (default one
     rank per node, like the paper's runs).  ``faults`` injects
     deterministic fabric/HCA faults (see :mod:`repro.faults`);
     ``obs`` (a :class:`repro.obs.Observability`) records per-layer
     counters and timeline spans for the run; ``tune`` configures the
     adaptive controller (defaults to on for the ``adaptive`` design,
-    off — never consulted — everywhere else)."""
+    off — never consulted — everywhere else); ``tie_seed`` enables
+    the engine's seeded schedule perturbation (see
+    :class:`repro.sim.engine.Simulator` — None keeps the historical
+    schedule bit-for-bit)."""
     if design not in DESIGNS:
         raise ValueError(f"unknown design {design!r}; pick from "
                          f"{DESIGNS}")
@@ -131,6 +135,7 @@ def build_world(nranks: int, design: str = "zerocopy",
     if nnodes > nranks:
         nnodes = nranks
     cluster = build_cluster(nnodes, cfg, faults=faults, obs=obs,
+                            tie_seed=tie_seed,
                             ncpus_per_node=max(2, -(-nranks // nnodes)))
 
     # design -> (channel registry name, device class); the two CH3
@@ -182,6 +187,7 @@ def run_mpi(nranks: int, prog: Callable, *,
             faults: Optional[FaultPlan] = None,
             obs=None,
             tune: Optional[TuneConfig] = None,
+            tie_seed: Optional[int] = None,
             args: Sequence = (),
             until: Optional[float] = None) -> Tuple[List, float]:
     """Run ``prog(mpi, *args)`` on ``nranks`` ranks; returns
@@ -191,7 +197,7 @@ def run_mpi(nranks: int, prog: Callable, *,
     ``yield from`` (see the examples/ directory).
     """
     world = build_world(nranks, design, cfg, ch_cfg, nnodes, faults,
-                        obs=obs, tune=tune)
+                        obs=obs, tune=tune, tie_seed=tie_seed)
     procs = [world.cluster.spawn(prog(ctx, *args), f"rank{ctx.rank}")
              for ctx in world.contexts]
     world.cluster.run(until)

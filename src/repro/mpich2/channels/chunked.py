@@ -83,7 +83,9 @@ class ChunkedConnection(Connection):
         #: ignore it
         self.zc_fastpath = False
         #: optional runtime cap on the DATA-chunk payload (finer
-        #: pipelining for latency-bound peers); None = full chunks
+        #: pipelining for latency-bound peers); None = full chunks,
+        #: values above the chunk capacity or below one byte are
+        #: clamped at use (progress is guaranteed for any setting)
         self.soft_max_payload: Optional[int] = None
         #: bytes of the outgoing stream to force through the ring path
         #: after a zero-copy registration failure (ours or, via NAK,
@@ -285,7 +287,11 @@ class ChunkedChannel(RdmaChannel):
         sender = conn.sender
         payload_cap = sender.max_payload
         if conn.soft_max_payload is not None:
-            payload_cap = min(payload_cap, conn.soft_max_payload)
+            # clamp below at one byte: a degenerate (zero or negative)
+            # soft cap would otherwise emit zero-payload DATA chunks
+            # forever without advancing the cursor — a livelock that
+            # burns ring slots and simulated time but moves no data
+            payload_cap = min(payload_cap, max(1, conn.soft_max_payload))
         take = min(cur.remaining(), payload_cap)
         # never pack the head of a would-be zero-copy element behind
         # other bytes in the same chunk

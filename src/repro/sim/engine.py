@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -314,14 +315,29 @@ class Simulator:
 
     Use :meth:`spawn` to start processes, :meth:`timeout` /
     :meth:`event` to create awaitables, and :meth:`run` to execute.
+
+    ``tie_seed`` selects the *schedule-perturbation policy* for events
+    scheduled at the same timestamp.  The default (``None``) breaks
+    ties by insertion order — the historical behaviour, bit-for-bit.
+    An integer seed draws a pseudo-random priority per scheduled
+    callback from ``random.Random(tie_seed)``, so same-time events run
+    in an alternate (but still deterministic and replayable) order.
+    Same-time events model concurrent hardware/software activity, so
+    every tie-break order is a *legal* interleaving; the conformance
+    fuzzer (:mod:`repro.check`) sweeps seeds to hunt protocol races
+    such as data-vs-flag write ordering.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tie_seed: Optional[int] = None) -> None:
         self.now: float = 0.0
         self._heap: List = []
         self._seq = itertools.count()
         self._live_processes = 0
         self._crashed: List = []
+        #: the active perturbation seed (None = insertion order)
+        self.tie_seed = tie_seed
+        self._tie_rng = (None if tie_seed is None
+                         else random.Random(tie_seed))
 
     # -- scheduling primitives ------------------------------------------
     def _schedule_at(self, when: float, fn: Callable, *args: Any) -> _Handle:
@@ -330,7 +346,11 @@ class Simulator:
                 f"cannot schedule in the past ({when} < {self.now})"
             )
         handle = _Handle()
-        heapq.heappush(self._heap, (when, next(self._seq), handle, fn, args))
+        # the priority slot is 0 under the default policy, so the heap
+        # order (when, 0, seq) collapses to the historical (when, seq)
+        prio = 0 if self._tie_rng is None else self._tie_rng.getrandbits(32)
+        heapq.heappush(self._heap,
+                       (when, prio, next(self._seq), handle, fn, args))
         return handle
 
     def _schedule_call(self, fn: Callable, *args: Any) -> _Handle:
@@ -380,7 +400,7 @@ class Simulator:
     # -- execution -------------------------------------------------------
     def step(self) -> None:
         """Execute the next scheduled callback."""
-        when, _seq, handle, fn, args = heapq.heappop(self._heap)
+        when, _prio, _seq, handle, fn, args = heapq.heappop(self._heap)
         if handle.cancelled:
             return
         self.now = when
@@ -413,6 +433,6 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled callback (``inf`` if none)."""
-        while self._heap and self._heap[0][2].cancelled:
+        while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0][0] if self._heap else float("inf")

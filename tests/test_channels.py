@@ -274,3 +274,91 @@ class TestBidirectionalPressure:
                            side(ch1, c10, d10))
         assert r0 == d10
         assert r1 == d01
+
+
+class TestSoftPayloadBoundaries:
+    """Regression: chunked-ring wrap-around at exact slot-boundary
+    payload sizes (pow2 +/- 1 around ``soft_max_payload``), surfaced by
+    the conformance workload generator (repro.check).
+
+    The soft cap is a public per-connection knob written at runtime by
+    the adaptive controller; every setting — including degenerate ones
+    — must keep the FIFO contract and make forward progress."""
+
+    CHUNKED = ["piggyback", "pipeline", "zerocopy"]
+
+    def _stream(self, design, size, soft, ring=32 * KB, chunk=8 * KB):
+        ch_cfg = ChannelConfig(ring_size=ring, chunk_size=chunk,
+                               zerocopy_threshold=1 << 30)
+        cluster, ch0, ch1, c01, c10 = make_channel_pair(
+            design, ch_cfg=ch_cfg)
+        c01.soft_max_payload = soft
+        data = pattern(size, seed=soft if soft else 0)
+        src = ch0.node.alloc(size)
+        src.write(data)
+        dst = ch1.node.alloc(size)
+
+        def producer():
+            yield from put_all(cluster, ch0, c01, [src])
+
+        def consumer():
+            yield from get_all(cluster, ch1, c10, [dst])
+            return dst.read()
+
+        _p, received = run_procs(cluster, producer(), consumer())
+        assert received == data
+
+    @pytest.mark.parametrize("design", CHUNKED)
+    @pytest.mark.parametrize("soft", [2048, 4096])
+    @pytest.mark.parametrize("delta", [-1, 0, 1])
+    def test_pow2_boundary_sizes_around_soft_cap(self, design, soft,
+                                                 delta):
+        """Messages sized pow2 +/- 1 around the cap cross chunk and
+        ring-wrap boundaries at every alignment."""
+        # 5 slots' worth forces a wrap of the 4-slot ring
+        self._stream(design, 5 * soft + delta, soft)
+
+    @pytest.mark.parametrize("design", CHUNKED)
+    def test_cap_at_exact_chunk_capacity_boundary(self, design):
+        """Caps at max_payload-1 / max_payload / above-max behave
+        identically to slightly-smaller full chunks (the cap is
+        clamped to the chunk capacity at use)."""
+        max_payload = 8 * KB - 17  # chunk_size - header - trailer
+        for soft in (max_payload - 1, max_payload, max_payload + 1):
+            self._stream(design, 3 * max_payload + 1, soft)
+
+    @pytest.mark.parametrize("design", CHUNKED)
+    @pytest.mark.parametrize("soft", [0, -1, 1])
+    def test_degenerate_caps_still_make_progress(self, design, soft):
+        """Regression: a zero/negative soft cap used to livelock put()
+        — zero-payload DATA chunks burned ring slots and simulated
+        time without ever advancing the stream.  Non-positive caps are
+        clamped to one byte."""
+        self._stream(design, 300, soft)
+
+    @pytest.mark.parametrize("design", CHUNKED)
+    def test_cap_change_mid_stream(self, design):
+        """The adaptive controller rewrites the cap between puts; the
+        stream must stay intact across the change (including a wrap
+        between the two halves)."""
+        ch_cfg = ChannelConfig(ring_size=32 * KB, chunk_size=8 * KB,
+                               zerocopy_threshold=1 << 30)
+        cluster, ch0, ch1, c01, c10 = make_channel_pair(
+            design, ch_cfg=ch_cfg)
+        data = pattern(96 * KB, seed=3)
+        src = ch0.node.alloc(len(data))
+        src.write(data)
+        dst = ch1.node.alloc(len(data))
+
+        def producer():
+            c01.soft_max_payload = 4096
+            yield from put_all(cluster, ch0, c01, [src.sub(0, 48 * KB)])
+            c01.soft_max_payload = 2048 + 1
+            yield from put_all(cluster, ch0, c01, [src.sub(48 * KB)])
+
+        def consumer():
+            yield from get_all(cluster, ch1, c10, [dst])
+            return dst.read()
+
+        _p, received = run_procs(cluster, producer(), consumer())
+        assert received == data

@@ -1,0 +1,176 @@
+"""The differential runner and oracle: conforming runs pass, the
+expected model is exact, wildcard canonicalization holds across
+posting orders and receive modes, and the cross-design diff flags a
+doctored observation."""
+
+import copy
+
+import pytest
+
+from repro.check import oracle
+from repro.check.differ import (DEFAULT_DESIGNS, Observation,
+                                differential, run_spec)
+from repro.check.generate import SMALL_CH_CFG
+from repro.check.spec import (CollectivePhase, ComputePhase,
+                              DatatypePhase, OneSidedPhase, P2PMessage,
+                              P2PPhase, RmaOp, WorkloadSpec)
+
+# a fast design subset for per-test matrices; the full registry is
+# still covered below and by the fuzz tier
+FAST = ("basic", "pipeline", "zerocopy", "ch3", "tcp")
+
+
+def _spec(phases, nranks=2, **kw):
+    kw.setdefault("ch_cfg", dict(SMALL_CH_CFG))
+    kw.setdefault("time_cap", 0.5)
+    return WorkloadSpec(seed=0, nranks=nranks, phases=tuple(phases),
+                        **kw)
+
+
+class TestConformance:
+    def test_mixed_spec_all_designs(self):
+        """Every registered design delivers the same canonical records
+        on a spec that crosses eager, rendezvous, and collective
+        paths."""
+        spec = _spec([
+            P2PPhase(messages=(
+                P2PMessage(src=0, dst=1, tag=0, size=1000),
+                P2PMessage(src=0, dst=1, tag=1, size=20000),
+                P2PMessage(src=1, dst=0, tag=0, size=3))),
+            CollectivePhase(op="allreduce", count=64),
+        ])
+        report = differential(spec, designs=DEFAULT_DESIGNS)
+        assert report.failures == []
+        assert len(report.observations) == len(DEFAULT_DESIGNS)
+        assert all(o.ok for o in report.observations)
+
+    @pytest.mark.parametrize("mode", ["exact", "any_source",
+                                      "any_tag", "any"])
+    def test_recv_modes_conform(self, mode):
+        """A uniform wildcard mode neither deadlocks nor changes the
+        canonical per-(source, tag) streams."""
+        spec = _spec([P2PPhase(
+            messages=(P2PMessage(src=0, dst=2, tag=0, size=500),
+                      P2PMessage(src=1, dst=2, tag=1, size=900),
+                      P2PMessage(src=0, dst=2, tag=1, size=64)),
+            recv_modes={"2": mode})], nranks=3)
+        report = differential(spec, designs=FAST)
+        assert report.failures == []
+
+    def test_post_reversed_conforms(self):
+        """Reversed posting order must not change the per-class
+        streams (slot-index monotonicity holds per matching class)."""
+        spec = _spec([P2PPhase(
+            messages=(P2PMessage(src=0, dst=1, tag=0, size=500),
+                      P2PMessage(src=0, dst=1, tag=1, size=900)),
+            post_reversed=True)])
+        report = differential(spec, designs=FAST)
+        assert report.failures == []
+
+    def test_unexpected_path_conforms(self):
+        """Rank 1 blocked on a long stream drains rank 2's eager
+        message before its receive is posted: the unexpected path must
+        deliver identical bytes."""
+        spec = _spec([
+            P2PPhase(messages=(P2PMessage(src=0, dst=1, tag=0,
+                                          size=24 * 1024),)),
+            P2PPhase(messages=(P2PMessage(src=2, dst=1, tag=1,
+                                          size=1000),)),
+        ], nranks=3)
+        report = differential(spec, designs=FAST)
+        assert report.failures == []
+
+    def test_datatype_and_onesided_conform(self):
+        spec = _spec([
+            DatatypePhase(src=0, dst=1, tag=0, count=2, blocks=3,
+                          blocklength=2, stride=5),
+            OneSidedPhase(slot=64, ops=(
+                RmaOp(op="put", origin=0, target=1),
+                RmaOp(op="acc", origin=1, target=0),
+                RmaOp(op="get", origin=0, target=1, slice=0))),
+        ])
+        report = differential(spec, designs=("basic", "zerocopy",
+                                             "ch3"))
+        assert report.failures == []
+
+    def test_compute_skew_conforms(self):
+        spec = _spec([
+            ComputePhase(seconds=(0.0, 400e-6)),
+            P2PPhase(messages=(P2PMessage(src=0, dst=1, tag=0,
+                                          size=5000),),
+                     blocking=True),
+        ])
+        report = differential(spec, designs=FAST)
+        assert report.failures == []
+
+
+class TestOracle:
+    def test_expected_model_matches_real_run(self):
+        """The numpy expected model and the interpreter agree record
+        for record (not merely digest for digest)."""
+        spec = _spec([
+            P2PPhase(messages=(P2PMessage(src=0, dst=1, tag=2,
+                                          size=777),)),
+            CollectivePhase(op="scan", count=7),
+        ])
+        obs = run_spec(spec, "pipeline")
+        assert obs.ok
+        assert obs.ranks == oracle.expected_ranks(spec)
+
+    def test_check_flags_doctored_records(self):
+        spec = _spec([P2PPhase(messages=(
+            P2PMessage(src=0, dst=1, tag=0, size=100),))])
+        obs = run_spec(spec, "pipeline")
+        assert oracle.check(spec, obs) == []
+        bad = copy.deepcopy(obs)
+        bad.ranks[1][0]["by_stream"]["0:0"][0][1] = "0" * 16
+        assert any("diverges from expected model" in f
+                   for f in oracle.check(spec, bad))
+
+    def test_compare_flags_divergent_observation(self):
+        spec = _spec([P2PPhase(messages=(
+            P2PMessage(src=0, dst=1, tag=0, size=100),))])
+        a = run_spec(spec, "pipeline")
+        b = copy.deepcopy(a)
+        b.design = "doctored"
+        b.ranks[1][0]["by_stream"]["0:0"][0][0] = 99
+        assert oracle.compare([a, b])
+        assert oracle.compare([a, copy.deepcopy(a)]) == []
+
+    def test_compare_skips_failed_runs(self):
+        """A hung or errored run is reported by check(); compare()
+        only diffs the successful ones."""
+        a = Observation(design="x", ranks=[[{"k": 1}]])
+        bad = Observation(design="y", error="boom",
+                          ranks=[[{"k": 2}]])
+        assert oracle.compare([a, bad]) == []
+
+    def test_observation_digest_covers_elapsed(self):
+        spec = _spec([P2PPhase(messages=(
+            P2PMessage(src=0, dst=1, tag=0, size=100),))])
+        a = run_spec(spec, "pipeline")
+        b = copy.deepcopy(a)
+        assert oracle.observation_digest(a) == \
+            oracle.observation_digest(b)
+        b.elapsed += 1e-9
+        assert oracle.observation_digest(a) != \
+            oracle.observation_digest(b)
+
+
+class TestFailureReporting:
+    def test_hang_is_reported_not_raised(self):
+        """A spec whose time cap cuts the run short surfaces as a
+        hang observation with the unfinished ranks listed."""
+        spec = _spec([P2PPhase(messages=(
+            P2PMessage(src=0, dst=1, tag=0, size=20000),))],
+            time_cap=1e-6)
+        obs = run_spec(spec, "pipeline")
+        assert obs.hang and not obs.ok
+        assert obs.unfinished
+        failures = oracle.check(spec, obs)
+        assert any("hang" in f for f in failures)
+
+    def test_labels(self):
+        obs = Observation(design="ch3", tie_seed=7,
+                          faults={"seed": 1})
+        assert obs.label() == "ch3/tie=7/faults"

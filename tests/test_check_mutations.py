@@ -1,0 +1,62 @@
+"""Mutation-testing smoke: the harness must catch the canned protocol
+bugs, and the monkey-patches must restore the stack exactly."""
+
+from repro.check.differ import run_spec
+from repro.check.mutations import CATALOG, run_smoke
+from repro.check import oracle
+
+
+def test_catalog_names_are_unique():
+    names = [m.name for m in CATALOG]
+    assert len(names) == len(set(names)) == 10
+
+
+def test_smoke_detects_the_canned_bugs():
+    """The hard floor is 8/10 (ISSUE constraint); the catalog is
+    currently tuned so all 10 are caught — if one regresses below the
+    floor the harness has gone blind to a whole bug class."""
+    results = run_smoke()
+    detected = [r.name for r in results if r.detected]
+    missed = [r.name for r in results if not r.detected]
+    assert len(detected) >= 8, f"missed: {missed}"
+    for r in results:
+        if r.detected:
+            assert r.failures
+
+
+def test_each_mutation_undo_restores_the_stack():
+    """After apply()+undo() every smoke spec passes again on its own
+    design — no patch leaks into later tests."""
+    for mut in CATALOG:
+        undo = mut.apply()
+        undo()
+        obs = run_spec(mut.spec, mut.design)
+        assert oracle.check(mut.spec, obs) == [], \
+            f"{mut.name}: undo left the stack broken"
+
+
+def test_specific_detection_channels():
+    """Pin the *kind* of signal three representative mutations
+    produce, so a weakening oracle cannot pass by accident: a matching
+    bug must surface as a matching-rules violation, a data bug as a
+    model divergence, a flow-control bug as a hang."""
+    by_name = {m.name: m for m in CATALOG}
+
+    def run_one(name):
+        mut = by_name[name]
+        undo = mut.apply()
+        try:
+            obs = run_spec(mut.spec, mut.design)
+        finally:
+            undo()
+        return obs, oracle.check(mut.spec, obs)
+
+    obs, failures = run_one("match-ignores-tag")
+    assert obs.violations and any("matching rules" in f
+                                  for f in failures)
+
+    obs, failures = run_one("skip-unexpected-copy")
+    assert any("diverges from expected model" in f for f in failures)
+
+    obs, failures = run_one("ignore-credits")
+    assert obs.hang and any("hang" in f for f in failures)

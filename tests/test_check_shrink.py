@@ -1,0 +1,100 @@
+"""The shrinker and replay files: a failing case minimizes to its
+essence while the failure persists, and a replay file re-runs to the
+same verdict."""
+
+import json
+
+from repro.check.differ import run_spec
+from repro.check.mutations import CATALOG
+from repro.check.shrink import (ShrinkResult, load_replay, replay,
+                                shrink, write_replay)
+from repro.check.spec import P2PMessage, P2PPhase, WorkloadSpec
+from repro.check import oracle
+
+_CFG = {"ring_size": 16 * 1024, "chunk_size": 4 * 1024,
+        "zerocopy_threshold": 1 << 30}
+
+
+def _fat_spec() -> WorkloadSpec:
+    """Deliberately oversized: extra phases and messages the shrinker
+    should strip away."""
+    bulk = tuple(P2PMessage(src=0, dst=1, tag=t, size=4000)
+                 for t in range(4))
+    extra = (P2PMessage(src=1, dst=0, tag=0, size=64),)
+    return WorkloadSpec(
+        seed=0, nranks=2,
+        phases=(P2PPhase(messages=extra),
+                P2PPhase(messages=bulk, blocking=True)),
+        ch_cfg=dict(_CFG), time_cap=0.2)
+
+
+def _mutation(name):
+    return next(m for m in CATALOG if m.name == name)
+
+
+class TestShrink:
+    def test_passing_case_returns_no_failures(self):
+        result = shrink(_fat_spec(), "pipeline", max_runs=10)
+        assert result.failures == []
+
+    def test_shrinks_under_applied_mutation(self):
+        """With the corrupt-payload bug installed, the fat spec fails
+        — and the shrinker strips the irrelevant phase and most of the
+        bulk messages while keeping it failing."""
+        mut = _mutation("corrupt-payload")
+        undo = mut.apply()
+        try:
+            result = shrink(_fat_spec(), "pipeline", max_runs=60)
+            assert result.failures
+            assert result.runs <= 60
+            # still failing after the diet
+            obs = run_spec(result.spec, "pipeline")
+            assert oracle.check(result.spec, obs)
+        finally:
+            undo()
+        total_msgs = sum(len(p.messages)
+                         for p in result.spec.phases)
+        assert len(result.spec.phases) == 1
+        assert total_msgs == 1
+
+    def test_drops_unneeded_tie_seed_and_plan(self):
+        """Extras that do not matter to the failure are discarded
+        first."""
+        mut = _mutation("corrupt-payload")
+        undo = mut.apply()
+        try:
+            result = shrink(_fat_spec(), "pipeline", tie_seed=55,
+                            max_runs=60)
+        finally:
+            undo()
+        assert result.failures
+        assert result.tie_seed is None
+        assert result.fault_plan is None
+
+
+class TestReplayFiles:
+    def test_round_trip(self, tmp_path):
+        result = ShrinkResult(_fat_spec(), "pipeline", 9, None,
+                              ["some failure"], 3)
+        path = tmp_path / "fail.json"
+        write_replay(path, result)
+        spec, design, tie_seed, plan = load_replay(path)
+        assert spec == result.spec
+        assert design == "pipeline" and tie_seed == 9 and plan is None
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        assert doc["failures"] == ["some failure"]
+
+    def test_replay_reruns_to_current_verdict(self, tmp_path):
+        """A replay is live, not archival: with the bug installed it
+        fails, after the fix it passes."""
+        mut = _mutation("corrupt-payload")
+        undo = mut.apply()
+        try:
+            result = shrink(_fat_spec(), "pipeline", max_runs=60)
+            path = tmp_path / "fail.json"
+            write_replay(path, result)
+            assert replay(path)          # bug present: still fails
+        finally:
+            undo()
+        assert replay(path) == []        # bug fixed: replay passes

@@ -1,0 +1,130 @@
+"""Workload specs: validation, JSON round-trips, and the seeded
+generator's determinism (the property that makes a fuzz failure
+replayable from just an integer)."""
+
+import pytest
+
+from repro.check.generate import (SMALL_CH_CFG, boundary_sizes,
+                                  generate_fault_plan, generate_spec)
+from repro.check.spec import (CollectivePhase, ComputePhase,
+                              DatatypePhase, OneSidedPhase, P2PMessage,
+                              P2PPhase, RmaOp, WorkloadSpec)
+
+
+def _full_spec() -> WorkloadSpec:
+    """One spec exercising every phase type."""
+    return WorkloadSpec(
+        seed=5, nranks=3,
+        phases=(
+            P2PPhase(messages=(P2PMessage(src=0, dst=1, tag=2,
+                                          size=100),
+                               P2PMessage(src=2, dst=1, tag=0,
+                                          size=3)),
+                     recv_modes={"1": "any_source"},
+                     post_reversed=True, blocking=True),
+            CollectivePhase(op="allreduce", root=0, count=7),
+            DatatypePhase(src=1, dst=2, tag=1, count=2, blocks=3,
+                          blocklength=2, stride=4),
+            OneSidedPhase(slot=64, ops=(
+                RmaOp(op="put", origin=0, target=1),
+                RmaOp(op="get", origin=2, target=0, slice=1))),
+            ComputePhase(seconds=(0.0, 1e-6, 2e-6)),
+        ),
+        ch_cfg=dict(SMALL_CH_CFG), time_cap=0.25)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        spec = _full_spec()
+        again = WorkloadSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.to_json() == spec.to_json()
+
+    def test_from_dict_validates(self):
+        d = _full_spec().to_dict()
+        d["phases"][0]["messages"][0]["src"] = 99
+        with pytest.raises(ValueError):
+            WorkloadSpec.from_dict(d)
+
+
+class TestValidation:
+    def test_needs_two_ranks(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(seed=0, nranks=1).validate()
+
+    def test_rejects_self_message(self):
+        ph = P2PPhase(messages=(P2PMessage(src=1, dst=1, tag=0,
+                                           size=4),))
+        with pytest.raises(ValueError, match="self-message"):
+            WorkloadSpec(seed=0, nranks=2, phases=(ph,)).validate()
+
+    def test_rejects_bad_recv_mode(self):
+        ph = P2PPhase(messages=(P2PMessage(src=0, dst=1, tag=0,
+                                           size=4),),
+                      recv_modes={"1": "some_source"})
+        with pytest.raises(ValueError, match="bad mode"):
+            WorkloadSpec(seed=0, nranks=2, phases=(ph,)).validate()
+
+    def test_rejects_unaligned_slot(self):
+        ph = OneSidedPhase(slot=12)
+        with pytest.raises(ValueError, match="multiple of 8"):
+            WorkloadSpec(seed=0, nranks=2, phases=(ph,)).validate()
+
+    def test_rejects_conflicting_writes(self):
+        ph = OneSidedPhase(slot=8, ops=(
+            RmaOp(op="put", origin=0, target=1),
+            RmaOp(op="acc", origin=0, target=1)))
+        with pytest.raises(ValueError, match="two writes"):
+            WorkloadSpec(seed=0, nranks=2, phases=(ph,)).validate()
+
+    def test_rejects_short_compute_vector(self):
+        ph = ComputePhase(seconds=(0.0,))
+        with pytest.raises(ValueError, match="per rank"):
+            WorkloadSpec(seed=0, nranks=2, phases=(ph,)).validate()
+
+    def test_rejects_overlapping_vector_blocks(self):
+        ph = DatatypePhase(src=0, dst=1, blocklength=3, stride=2)
+        with pytest.raises(ValueError, match="stride"):
+            WorkloadSpec(seed=0, nranks=2, phases=(ph,)).validate()
+
+
+class TestGenerator:
+    def test_same_seed_same_spec(self):
+        for seed in (0, 7, 123456):
+            assert generate_spec(seed) == generate_spec(seed)
+
+    def test_specs_vary_across_seeds(self):
+        specs = {generate_spec(s).to_json() for s in range(12)}
+        assert len(specs) > 6
+
+    def test_generated_specs_validate_and_round_trip(self):
+        for seed in range(20):
+            spec = generate_spec(seed)
+            spec.validate()
+            assert WorkloadSpec.from_json(spec.to_json()) == spec
+
+    def test_boundary_sizes_cover_protocol_edges(self):
+        sizes = boundary_sizes(dict(SMALL_CH_CFG))
+        cap = SMALL_CH_CFG["chunk_size"] - 17
+        zc = SMALL_CH_CFG["zerocopy_threshold"]
+        nslots = SMALL_CH_CFG["ring_size"] // SMALL_CH_CFG["chunk_size"]
+        for edge in (cap - 1, cap, cap + 1, zc - 1, zc, zc + 1,
+                     nslots * cap, 1, 2, 3):
+            assert edge in sizes
+
+    def test_fault_plans_deterministic_and_recoverable(self):
+        for seed in range(30):
+            a, b = generate_fault_plan(seed), generate_fault_plan(seed)
+            assert (a is None) == (b is None)
+            if a is None:
+                continue
+            assert a.to_dict() == b.to_dict()
+            # conformance plans are link-level only: nothing that can
+            # legally kill a rank (that is the fault-soak tier's job)
+            assert not a.reg_failures
+            assert not a.wc_errors
+
+    def test_some_seeds_produce_active_plans(self):
+        plans = [generate_fault_plan(s) for s in range(30)]
+        assert any(p is not None for p in plans)
+        assert any(p is None for p in plans)

@@ -1,0 +1,186 @@
+"""Property tests for the adaptive controller: under *adversarial*
+event streams (arbitrary size histograms, depths, rendezvous mixes,
+credit stalls) every knob the controller writes stays inside its
+:class:`TuneConfig` bounds, moves are power-of-two-stepped, and the
+decision log is a pure function of the event stream — replaying the
+same stream on a fresh controller reproduces it byte for byte.
+
+These are the guarantees the conformance fuzzer leans on when it runs
+the adaptive channel in the differential matrix: a knob excursion
+outside its bounds would make the adaptive design diverge from the
+static ones in ways no oracle could bless.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ChannelConfig, HardwareConfig
+from repro.tune import (PROTO_READ, PROTO_WRITE, THRESHOLD_OFF,
+                        AdaptiveController, TuneConfig)
+
+
+class _FakeReceiver:
+    """Just enough ring-receiver surface for the coalescing knob."""
+
+    def __init__(self, nslots=8, credit_threshold=2):
+        self.nslots = nslots
+        self.credit_threshold = credit_threshold
+        self.chunks_received = 0
+
+
+class _FakeConn:
+    """A connection whose knobs the controller may write."""
+
+    def __init__(self):
+        self.receiver = _FakeReceiver()
+        self.zc_threshold = 32 * 1024
+        self.zc_fastpath = False
+        self.soft_max_payload = None
+
+
+# one event: (kind, peer, size, depth, rndv)
+_events = st.lists(
+    st.tuples(st.sampled_from(["send", "recv", "stall"]),
+              st.integers(min_value=1, max_value=3),
+              st.one_of(st.integers(min_value=1, max_value=1 << 22),
+                        st.sampled_from([1, 8, 2048, 4096, 16384,
+                                         32768, 32769, 65536,
+                                         (1 << 20) - 1, 1 << 22])),
+              st.integers(min_value=0, max_value=8),
+              st.booleans()),
+    min_size=1, max_size=400)
+
+_tune_cfgs = st.builds(
+    TuneConfig,
+    sample_every=st.sampled_from([1, 2, 7, 16]),
+    hysteresis=st.floats(min_value=0.0, max_value=0.9),
+    streaming_depth=st.integers(min_value=1, max_value=4),
+    min_crossover=st.sampled_from([1024, 4096, 16384]),
+    max_crossover=st.sampled_from([65536, 262144, 1 << 20]),
+    coalesce_credits=st.booleans(),
+    tune_crossover=st.booleans(),
+    tune_protocol=st.booleans(),
+    tune_chunk=st.booleans(),
+)
+
+
+def _drive(cfg: TuneConfig, events):
+    """Build a controller, attach fake connections, replay the event
+    stream; returns (controller, {peer: conn})."""
+    ch_cfg = ChannelConfig()
+    c = AdaptiveController(rank=0, cfg=cfg, hw=HardwareConfig(),
+                           ch_cfg=ch_cfg)
+    conns = {}
+    for peer in (1, 2, 3):
+        conns[peer] = _FakeConn()
+        c.attach(peer, conns[peer])
+    for kind, peer, size, depth, rndv in events:
+        if kind == "send":
+            c.on_send(peer, size, depth=depth, rndv=rndv)
+        elif kind == "recv":
+            # drive the arrival counter so the coalescing predicate
+            # sees both sparse and ring-cycling windows
+            conns[peer].receiver.chunks_received += 1 + depth
+            c.on_recv(peer, size, rndv=rndv)
+        else:
+            c.on_credit_stall(peer)
+    return c, conns
+
+
+@settings(max_examples=60, deadline=None)
+@given(cfg=_tune_cfgs, events=_events)
+def test_knobs_stay_within_bounds(cfg, events):
+    c, conns = _drive(cfg, events)
+    ch_cfg = c.ch_cfg
+    for peer, conn in conns.items():
+        # crossover clamped to the configured band
+        assert cfg.min_crossover <= c.crossover(peer) <= cfg.max_crossover
+        # protocol is one of the two legal values
+        assert c.protocol(peer) in (PROTO_WRITE, PROTO_READ)
+        # the channel zero-copy threshold is either disarmed or the
+        # (in-band) crossover
+        assert conn.zc_threshold == THRESHOLD_OFF or (
+            cfg.min_crossover <= conn.zc_threshold <= cfg.max_crossover)
+        # the soft chunk cap, when set, is a real cap: at least the
+        # 2 KB floor and strictly below the configured chunk size
+        soft = conn.soft_max_payload
+        assert soft is None or 2048 <= soft < ch_cfg.chunk_size
+        # the credit threshold only takes its two sanctioned values
+        recv = conn.receiver
+        legal = {2, max(0, recv.nslots - 2)}  # attach-time default is 2
+        assert recv.credit_threshold in legal
+
+
+@settings(max_examples=60, deadline=None)
+@given(cfg=_tune_cfgs, events=_events)
+def test_rndv_threshold_query_is_consistent(cfg, events):
+    c, _conns = _drive(cfg, events)
+    for peer in (1, 2, 3):
+        got = c.rndv_threshold(peer, 32768)
+        if c.protocol(peer) is not PROTO_WRITE:
+            assert got == THRESHOLD_OFF
+        elif cfg.tune_crossover:
+            assert got == c.crossover(peer)
+        else:
+            assert got == 32768
+
+
+@settings(max_examples=40, deadline=None)
+@given(cfg=_tune_cfgs, events=_events)
+def test_crossover_moves_one_pow2_step(cfg, events):
+    """Every crossover decision in the log is exactly one doubling or
+    halving of the previous value (clamped at the band edges)."""
+    c, _conns = _drive(cfg, events)
+    for _seq, _peer, knob, old, new in c.decisions:
+        if knob != "crossover":
+            continue
+        assert new != old
+        assert new in (
+            min(old * 2, cfg.max_crossover),
+            max(old // 2, cfg.min_crossover))
+
+
+@settings(max_examples=40, deadline=None)
+@given(cfg=_tune_cfgs, events=_events)
+def test_decision_log_is_deterministic(cfg, events):
+    """Replaying the identical event stream on a fresh controller
+    reproduces the decision log and every final knob, byte for byte
+    — the property the conformance harness's seeded replays rely on."""
+    a, conns_a = _drive(cfg, events)
+    b, conns_b = _drive(cfg, events)
+    assert a.decisions == b.decisions
+    for peer in (1, 2, 3):
+        assert a.crossover(peer) == b.crossover(peer)
+        assert a.protocol(peer) == b.protocol(peer)
+        assert conns_a[peer].zc_threshold == conns_b[peer].zc_threshold
+        assert (conns_a[peer].soft_max_payload
+                == conns_b[peer].soft_max_payload)
+        assert (conns_a[peer].receiver.credit_threshold
+                == conns_b[peer].receiver.credit_threshold)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cfg=_tune_cfgs, events=_events)
+def test_decision_seq_is_monotone(cfg, events):
+    """Decision records carry a nondecreasing event sequence, so the
+    log reads as a causal timeline."""
+    c, _conns = _drive(cfg, events)
+    seqs = [d[0] for d in c.decisions]
+    assert seqs == sorted(seqs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(events=_events)
+def test_disabled_knobs_never_move(events):
+    """With every tuning dimension switched off the controller still
+    samples windows but writes nothing."""
+    cfg = TuneConfig(tune_crossover=False, tune_protocol=False,
+                     tune_chunk=False, coalesce_credits=False)
+    c, conns = _drive(cfg, events)
+    assert c.decisions == []
+    for peer, conn in conns.items():
+        assert c.protocol(peer) == PROTO_WRITE
+        # attach disarms the read path; nothing may re-arm it
+        assert conn.zc_threshold == THRESHOLD_OFF
+        assert conn.soft_max_payload is None
+        assert conn.receiver.credit_threshold == 2
