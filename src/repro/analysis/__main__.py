@@ -1,0 +1,117 @@
+"""Command-line front end: ``python -m repro.analysis <cmd>``.
+
+``lint``
+    run the protocol-contract linter over the source tree (exit 1 on
+    findings; ``--baseline`` filters known ones);
+``baseline``
+    write the current findings to a baseline file so ``lint`` only
+    reports regressions;
+``shadow-run``
+    execute a module/script with the RDMA shadow-memory sanitizer
+    force-enabled (``REPRO_SHADOW=1``);
+``mutcheck``
+    prove the linter + sanitizer catch the canned bug corpus without
+    the differential oracle (exit 1 below ``--expect``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import runpy
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import write_baseline
+from .lint import run_lint
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    report = run_lint(
+        root=Path(args.root) if args.root else None,
+        rule_ids=args.rules.split(",") if args.rules else None,
+        baseline=Path(args.baseline) if args.baseline else None)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    return 1 if report.findings else 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    report = run_lint(root=Path(args.root) if args.root else None)
+    write_baseline(report, Path(args.out))
+    print(f"baseline: {len(report.findings)} finding(s) -> {args.out}")
+    return 0
+
+
+def _cmd_shadow_run(args: argparse.Namespace) -> int:
+    os.environ["REPRO_SHADOW"] = "1"
+    if args.strict is not None:
+        os.environ["REPRO_SHADOW_STRICT"] = "1" if args.strict else "0"
+    sys.argv = [args.target] + list(args.target_args)
+    if args.module:
+        runpy.run_module(args.target, run_name="__main__",
+                         alter_sys=True)
+    else:
+        runpy.run_path(args.target, run_name="__main__")
+    return 0
+
+
+def _cmd_mutcheck(args: argparse.Namespace) -> int:
+    from .mutcheck import check_mutations, format_results
+
+    results = check_mutations(dynamic=not args.static_only)
+    print(format_results(results))
+    caught = sum(r.caught for r in results)
+    return 0 if caught >= args.expect else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="protocol-contract linter + RDMA shadow sanitizer")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("lint", help="lint the source tree")
+    p.add_argument("--root", default=None,
+                   help="tree to lint (default: the installed src/)")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule ids (default: all)")
+    p.add_argument("--baseline", default=None,
+                   help="suppress findings recorded in this file")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("baseline", help="record current findings")
+    p.add_argument("--root", default=None)
+    p.add_argument("--out", default="lint-baseline.json")
+    p.set_defaults(func=_cmd_baseline)
+
+    p = sub.add_parser("shadow-run",
+                       help="run a script/module with REPRO_SHADOW=1")
+    p.add_argument("-m", dest="module", action="store_true",
+                   help="treat target as a module (like python -m)")
+    p.add_argument("--lax", dest="strict", action="store_const",
+                   const=False, default=None,
+                   help="record violations instead of raising")
+    p.add_argument("target")
+    p.add_argument("target_args", nargs=argparse.REMAINDER)
+    p.set_defaults(func=_cmd_shadow_run)
+
+    p = sub.add_parser("mutcheck",
+                       help="validate tooling against the bug corpus")
+    p.add_argument("--expect", type=int, default=8,
+                   help="minimum mutations that must be caught")
+    p.add_argument("--static-only", action="store_true",
+                   help="skip the shadow (dynamic) prong")
+    p.set_defaults(func=_cmd_mutcheck)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

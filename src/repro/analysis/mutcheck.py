@@ -1,0 +1,154 @@
+"""Validate the analysis tooling against the canned bug corpus.
+
+``repro/check/mutations.py`` carries ten known-dangerous protocol
+edits that the *differential oracle* is known to catch.  This module
+proves the static/dynamic analysis prongs catch (most of) the same
+bugs **without ever executing the oracle**:
+
+* **static prong** — extract each mutation factory's source from the
+  corpus with :func:`ast.get_source_segment` and lint it as if it
+  lived in a ring channel module; a finding means the linter would
+  have flagged the bug at review time;
+* **dynamic prong** — for mutations the linter cannot see (the bug is
+  in the *runtime interleaving*, not the source shape), apply the
+  monkey-patch, run the mutation's own tailored spec with the shadow
+  fabric installed (``REPRO_SHADOW=1``), and look for a
+  :class:`~repro.analysis.shadow.ShadowViolation` in the outcome.
+
+``oracle.check`` is never called — the point is that these two cheap
+prongs stand on their own (`corrupt-payload`, a pure data-value bug
+with no protocol-shape signature, is the expected escape; it needs
+the full differential diff).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, List, Optional
+
+from .core import Finding, lint_source
+
+__all__ = ["MutationCheck", "check_mutations", "format_results",
+           "run_under_shadow"]
+
+#: synthetic path for the extracted factory source: inside ``mpich2/``
+#: (contract rules in scope), filename mentions ``ring`` (chunk-layout
+#: rules active) and ``mutant`` (never confused with a real module).
+_SYNTHETIC_PATH = "src/repro/mpich2/channels/ring_mutant.py"
+
+
+@dataclass
+class MutationCheck:
+    """Outcome of running both prongs against one canned mutation."""
+
+    name: str
+    static_findings: List[Finding] = field(default_factory=list)
+    shadow_kinds: List[str] = field(default_factory=list)
+    shadow_error: Optional[str] = None
+    dynamic_ran: bool = False
+
+    @property
+    def caught_static(self) -> bool:
+        return bool(self.static_findings)
+
+    @property
+    def caught_dynamic(self) -> bool:
+        return bool(self.shadow_kinds)
+
+    @property
+    def caught(self) -> bool:
+        return self.caught_static or self.caught_dynamic
+
+
+def _factory_source(mutations_path: Path, func_name: str) -> str:
+    source = mutations_path.read_text()
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == func_name:
+            seg = ast.get_source_segment(source, node)
+            if seg:
+                return seg
+    raise LookupError(f"no factory {func_name!r} in {mutations_path}")
+
+
+def _lint_factory(mutations_path: Path, func_name: str) -> List[Finding]:
+    src = _factory_source(mutations_path, func_name)
+    return lint_source(src, path=_SYNTHETIC_PATH)
+
+
+def run_under_shadow(mut: Any) -> MutationCheck:
+    """Apply ``mut``, run its spec with the shadow fabric installed,
+    and report any violations.  Never consults the oracle."""
+    from ..check.differ import run_spec
+    from .shadow import last_shadow
+
+    result = MutationCheck(name=mut.name, dynamic_ran=True)
+    saved = os.environ.get("REPRO_SHADOW")
+    os.environ["REPRO_SHADOW"] = "1"
+    undo = mut.apply()
+    try:
+        obs = run_spec(mut.spec, mut.design)
+    finally:
+        undo()
+        if saved is None:
+            del os.environ["REPRO_SHADOW"]
+        else:
+            os.environ["REPRO_SHADOW"] = saved
+    shadow = last_shadow()
+    if shadow is not None:
+        result.shadow_kinds = [v.kind for v in shadow.violations]
+    if obs.error is not None and "ShadowViolation" in obs.error:
+        result.shadow_error = obs.error
+        if not result.shadow_kinds:  # pragma: no cover - belt and braces
+            result.shadow_kinds = ["unknown"]
+    return result
+
+
+def check_mutations(catalog: Any = None, dynamic: bool = True,
+                    mutations_path: Optional[Path] = None
+                    ) -> List[MutationCheck]:
+    """Run both prongs over the canned corpus.
+
+    The dynamic prong only runs for mutations the linter missed (it
+    costs a full simulated workload per mutation); pass
+    ``dynamic=False`` for a lint-only pass."""
+    from ..check import mutations as corpus
+
+    if catalog is None:
+        catalog = corpus.CATALOG
+    if mutations_path is None:
+        mutations_path = Path(corpus.__file__)
+    results: List[MutationCheck] = []
+    for mut in catalog:
+        check = MutationCheck(name=mut.name)
+        check.static_findings = _lint_factory(mutations_path,
+                                              mut.apply.__name__)
+        if dynamic and not check.caught_static:
+            check = run_under_shadow(mut)
+            check.static_findings = []
+        results.append(check)
+    return results
+
+
+def format_results(results: List[MutationCheck]) -> str:
+    lines = []
+    caught = 0
+    for r in results:
+        if r.caught_static:
+            how = ", ".join(sorted({f.rule for f in r.static_findings}))
+            verdict = f"CAUGHT (lint: {how})"
+        elif r.caught_dynamic:
+            how = ", ".join(sorted(set(r.shadow_kinds)))
+            verdict = f"CAUGHT (shadow: {how})"
+        elif r.dynamic_ran:
+            verdict = "escaped (both prongs)"
+        else:
+            verdict = "escaped (lint; dynamic skipped)"
+        caught += r.caught
+        lines.append(f"  {r.name:<24} {verdict}")
+    lines.append(f"mutations caught without the oracle: "
+                 f"{caught}/{len(results)}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Rule registry: every rule class the linter ships."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Type
+
+from ..core import Rule
+from . import contracts, determinism, hygiene
+
+__all__ = ["ALL_RULE_CLASSES", "all_rules", "rules_by_id"]
+
+ALL_RULE_CLASSES: Sequence[Type[Rule]] = (
+    determinism.WallClockRule,
+    determinism.UnseededRandomRule,
+    determinism.IdKeyRule,
+    determinism.SetIterationRule,
+    contracts.RingWriteTornRule,
+    contracts.CreditPublishRule,
+    contracts.ZcDeregBeforeAckRule,
+    contracts.AckBeforeReadDoneRule,
+    contracts.MrUseAfterDeregRule,
+    contracts.DeadProtocolParamRule,
+    contracts.SilentGeneratorRule,
+    contracts.HeaderIdentityArithRule,
+    hygiene.PositionalConfigRule,
+    hygiene.UnpairedGaugeRule,
+)
+
+
+def all_rules() -> List[Rule]:
+    return [cls() for cls in ALL_RULE_CLASSES]
+
+
+def rules_by_id(ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    rules = all_rules()
+    if ids is None:
+        return rules
+    want = set(ids)
+    known = {r.id for r in rules}
+    unknown = want - known
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+    return [r for r in rules if r.id in want]

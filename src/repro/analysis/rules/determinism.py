@@ -1,0 +1,155 @@
+"""Determinism rules: the simulator must be a pure function of its
+seeds.  Wall-clock reads, interpreter addresses (``id()``), unseeded
+RNGs, and set-iteration order all leak host state into event order,
+which breaks replayability — the property every tier above this one
+(golden replays, differential fuzzing, fault plans) is built on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..core import Finding, ModuleInfo, Rule
+
+__all__ = [
+    "WallClockRule",
+    "UnseededRandomRule",
+    "IdKeyRule",
+    "SetIterationRule",
+]
+
+_WALLCLOCK_ATTRS: Set[str] = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+}
+
+#: module-level ``random.*`` functions that use the hidden global RNG
+_GLOBAL_RANDOM_FNS: Set[str] = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "expovariate", "betavariate",
+    "normalvariate", "seed", "getrandbits",
+}
+
+
+def _enclosing_funcs(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            yield node
+
+
+class WallClockRule(Rule):
+    """No host wall-clock reads in simulation code: simulated time is
+    ``sim.now``, and anything derived from the host clock differs run
+    to run.  CLI entry points (``__main__.py``) may time themselves.
+    """
+
+    id = "wallclock"
+    description = ("host clock read (time.time/perf_counter/monotonic) "
+                   "in simulation code")
+
+    def applies(self, mod: ModuleInfo) -> bool:
+        return not mod.path.endswith("__main__.py")
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "time"
+                    and node.attr in _WALLCLOCK_ATTRS):
+                yield self.finding(
+                    mod, node,
+                    f"time.{node.attr}() reads the host clock; use "
+                    "sim.now (simulated time) instead")
+
+
+class UnseededRandomRule(Rule):
+    """Every RNG must be constructed from an explicit seed.  The
+    module-level ``random.*`` functions share one hidden global state;
+    ``random.Random()`` / ``np.random.default_rng()`` with no
+    arguments seed from the OS."""
+
+    id = "unseeded-random"
+    description = "RNG without an explicit seed"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            # random.<global fn>(...)
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr in _GLOBAL_RANDOM_FNS):
+                yield self.finding(
+                    mod, node,
+                    f"random.{func.attr}() uses the shared global RNG; "
+                    "construct random.Random(seed) explicitly")
+                continue
+            # random.Random() / np.random.default_rng() with no seed
+            seeded = bool(node.args) or bool(node.keywords)
+            if seeded:
+                continue
+            if (func.attr == "Random"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"):
+                yield self.finding(
+                    mod, node, "random.Random() without a seed")
+            elif (func.attr == "default_rng"
+                  and isinstance(func.value, ast.Attribute)
+                  and func.value.attr == "random"):
+                yield self.finding(
+                    mod, node, "np.random.default_rng() without a seed")
+
+
+class IdKeyRule(Rule):
+    """``id()`` values are interpreter addresses: using one as a dict
+    key or sort key makes anything that iterates the container (or
+    compares keys) depend on the allocator.  ``__repr__``/``__str__``
+    may use ``id()`` for display."""
+
+    id = "id-key"
+    description = "id() used outside __repr__/__str__"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        display: Set[int] = set()
+        for fn in _enclosing_funcs(mod.tree):
+            if fn.name in ("__repr__", "__str__"):
+                end = getattr(fn, "end_lineno", fn.lineno) or fn.lineno
+                display.update(range(fn.lineno, end + 1))
+        for node in ast.walk(mod.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "id"
+                    and node.lineno not in display):
+                yield self.finding(
+                    mod, node,
+                    "id() is an interpreter address — not a stable key; "
+                    "use an explicit uid/rank tuple")
+
+
+class SetIterationRule(Rule):
+    """Iterating a set literal / ``set(...)`` feeds hash order into
+    whatever the loop does — if that schedules events, replay breaks.
+    Wrap in ``sorted(...)`` or keep a list."""
+
+    id = "set-iteration"
+    description = "for-loop over a set (iteration order is hash order)"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, (ast.For, ast.comprehension)):
+                continue
+            it = node.iter
+            if isinstance(it, ast.Set):
+                yield self.finding(
+                    mod, it, "iteration over a set literal")
+            elif (isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Name)
+                    and it.func.id == "set"):
+                yield self.finding(
+                    mod, it,
+                    "iteration over set(...); wrap in sorted(...) if "
+                    "order can reach the event queue")

@@ -1,0 +1,97 @@
+"""API-hygiene rules for repo-wide conventions.
+
+* configs are keyword-only since the PR-3 deprecation — positional
+  construction only works through a shim that will be removed;
+* observability gauges track a level, so every ``.add()`` stream on a
+  gauge must contain a decrement (or use ``.set()``) — an
+  increment-only gauge is either a leak or should be a counter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from ..core import Finding, ModuleInfo, Rule
+
+__all__ = ["PositionalConfigRule", "UnpairedGaugeRule"]
+
+
+class PositionalConfigRule(Rule):
+    """``FooConfig(a, b)`` goes through the deprecated positional
+    shim; construct configs keyword-only."""
+
+    id = "positional-config"
+    description = "positional construction of a *Config dataclass"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = ""
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name.endswith("Config") and node.args:
+                yield self.finding(
+                    mod, node,
+                    f"{name} constructed with positional arguments; "
+                    "configs are keyword-only (the positional shim is "
+                    "deprecated)")
+
+
+class UnpairedGaugeRule(Rule):
+    """A gauge attribute (``self._m_x = m.gauge(...)``) whose module
+    only ever ``.add()``s non-negative amounts never comes back down:
+    either pair the increments with decrements, drive it with
+    ``.set()``, or make it a counter."""
+
+    id = "unpaired-gauge"
+    description = "gauge incremented but never decremented or set"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        gauges: Dict[str, int] = {}
+        for node in ast.walk(mod.tree):
+            if (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "gauge"):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Attribute):
+                        gauges[tgt.attr] = node.lineno
+        if not gauges:
+            return
+        adds: Dict[str, List[ast.Call]] = {g: [] for g in gauges}
+        downs: Set[str] = set()
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            target = node.func.value
+            if not (isinstance(target, ast.Attribute)
+                    and target.attr in gauges):
+                continue
+            attr = target.attr
+            if node.func.attr == "set":
+                downs.add(attr)
+            elif node.func.attr == "add" and node.args:
+                adds[attr].append(node)
+                if _is_negative(node.args[0]):
+                    downs.add(attr)
+        for attr, calls in adds.items():
+            if calls and attr not in downs:
+                yield self.finding(
+                    mod, calls[0],
+                    f"gauge '{attr}' is only ever incremented in this "
+                    "module — pair with a decrement/.set() or use a "
+                    "counter")
+
+
+def _is_negative(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+        return True
+    return (isinstance(expr, ast.Constant)
+            and isinstance(expr.value, (int, float))
+            and expr.value < 0)

@@ -11,6 +11,7 @@ MPI layer (see :mod:`repro.mpi`) provides the high-level runner
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, Generator, List, Optional
 
 from .config import HardwareConfig
@@ -80,6 +81,13 @@ class Cluster:
         self.nodes: List[Node] = [
             Node(self, i, ncpus_per_node) for i in range(nnodes)
         ]
+        #: optional RDMA shadow-memory sanitizer (repro.analysis.shadow);
+        #: None = zero overhead, identical event order either way.
+        self.shadow = None
+        if os.environ.get("REPRO_SHADOW") not in (None, "", "0"):
+            from .analysis.shadow import install_shadow
+            install_shadow(self, strict=os.environ.get(
+                "REPRO_SHADOW_STRICT", "1") not in ("0", ""))
 
     def __len__(self) -> int:
         return len(self.nodes)

@@ -11,10 +11,10 @@ delay before a spinning consumer observes the CQE over the bus.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generator, List, Optional
+from typing import Any, Deque, Generator, List, Optional
 
 from ..obs import NULL_METRICS
-from ..sim.engine import Simulator
+from ..sim.engine import Event, Simulator
 from ..sim.sync import Gate
 from .types import Completion, WcStatus
 
@@ -27,7 +27,7 @@ class CQOverflowError(Exception):
 
 class CompletionQueue:
     def __init__(self, sim: Simulator, depth: int = 4096, name: str = "",
-                 metrics=None):
+                 metrics: Any = None) -> None:
         if depth < 1:
             raise ValueError("CQ depth must be >= 1")
         self.sim = sim
@@ -102,6 +102,6 @@ class CompletionQueue:
             yield self._gate.wait()
         return self._entries.popleft()
 
-    def wait_event(self):
+    def wait_event(self) -> Event:
         """An event that fires the next time a completion is pushed."""
         return self._gate.wait()

@@ -27,7 +27,7 @@ class Fabric:
     """One switch plus the cables of every attached node."""
 
     def __init__(self, sim: Simulator, net: FluidNetwork,
-                 cfg: HardwareConfig):
+                 cfg: HardwareConfig) -> None:
         self.sim = sim
         self.net = net
         self.cfg = cfg

@@ -90,7 +90,7 @@ class QueuePair:
 
     def __init__(self, hca: "Hca", send_cq: CompletionQueue,
                  recv_cq: CompletionQueue, max_send: int = 4096,
-                 max_recv: int = 4096):
+                 max_recv: int = 4096) -> None:
         self.hca = hca
         self.qpn = next(_qpn_counter)
         self.send_cq = send_cq
@@ -234,6 +234,10 @@ class QueuePair:
         if wr.opcode is Opcode.RDMA_WRITE:
             # Validate the remote target *before* moving data, like the
             # responder would on the first packet.
+            shadow = remote.hca.shadow
+            if shadow is not None:
+                shadow.on_remote_access(remote.hca, wr.rkey,
+                                        wr.remote_addr, nbytes, "write")
             rmr = remote.hca.pd.lookup_rkey(wr.rkey)
             rmr.check_remote(wr.remote_addr, nbytes, Access.REMOTE_WRITE)
             self.hca.stats.rdma_writes += 1
@@ -269,8 +273,12 @@ class QueuePair:
                                                   remote.hca.node_id))
         yield sim.timeout(cfg.pci_latency + cfg.hca_recv_processing)
         nbytes = len(payload)
+        shadow = remote.hca.shadow
         if wr.opcode is Opcode.RDMA_WRITE:
             if nbytes:
+                if shadow is not None:
+                    shadow.on_rdma_write(remote.hca, wr.remote_addr,
+                                         nbytes, self.qpn)
                 remote.hca.mem.write(wr.remote_addr, payload)
             # transparent to remote software; still pulse the gate so
             # simulated pollers can re-check their flags.
@@ -290,6 +298,9 @@ class QueuePair:
                 take = min(sge.length, nbytes - off)
                 if take <= 0:
                     break
+                if shadow is not None:
+                    shadow.on_rdma_write(remote.hca, sge.addr, take,
+                                         self.qpn, op="send")
                 remote.hca.mem.write(sge.addr, payload[off:off + take])
                 off += take
             remote._m_recv_ops.inc()
@@ -323,6 +334,10 @@ class QueuePair:
         yield sim.timeout(self.hca.fabric.latency(self.hca.node_id,
                                                   remote.hca.node_id))
         # responder: validate, then serialize through the read engine
+        shadow = remote.hca.shadow
+        if shadow is not None:
+            shadow.on_remote_access(remote.hca, wr.rkey,
+                                    wr.remote_addr, nbytes, "read")
         rmr = remote.hca.pd.lookup_rkey(wr.rkey)
         rmr.check_remote(wr.remote_addr, nbytes, Access.REMOTE_READ)
         yield remote.hca.read_engine.acquire()
@@ -342,7 +357,12 @@ class QueuePair:
         yield sim.timeout(cfg.pci_latency + cfg.hca_recv_processing)
         if nbytes:
             off = 0
+            local_shadow = self.hca.shadow
             for sge in wr.sges:
+                if local_shadow is not None:
+                    local_shadow.on_rdma_write(self.hca, sge.addr,
+                                               sge.length, self.qpn,
+                                               op="read-landing")
                 self.hca.mem.write(sge.addr, payload[off:off + sge.length])
                 off += sge.length
         self.hca.stats.rdma_reads += 1
@@ -372,6 +392,10 @@ class QueuePair:
         # request leg
         yield sim.timeout(self.hca.fabric.latency(self.hca.node_id,
                                                   remote.hca.node_id))
+        shadow = remote.hca.shadow
+        if shadow is not None:
+            shadow.on_remote_access(remote.hca, wr.rkey,
+                                    wr.remote_addr, 8, "atomic")
         rmr = remote.hca.pd.lookup_rkey(wr.rkey)
         rmr.check_remote(wr.remote_addr, 8, Access.REMOTE_ATOMIC)
         if wr.remote_addr % 8:
@@ -383,10 +407,16 @@ class QueuePair:
             old = _struct.unpack("<Q", old_raw)[0]
             if wr.opcode is Opcode.FETCH_ADD:
                 new = (old + wr.compare_add) & 0xFFFFFFFFFFFFFFFF
+                if shadow is not None:
+                    shadow.on_rdma_write(remote.hca, wr.remote_addr, 8,
+                                         self.qpn, op="atomic")
                 remote.hca.mem.write(wr.remote_addr,
                                      _struct.pack("<Q", new))
             else:  # CMP_SWAP
                 if old == wr.compare_add:
+                    if shadow is not None:
+                        shadow.on_rdma_write(remote.hca, wr.remote_addr,
+                                             8, self.qpn, op="atomic")
                     remote.hca.mem.write(wr.remote_addr,
                                          _struct.pack("<Q", wr.swap))
             remote.hca.inbound_gate.open()
@@ -396,6 +426,10 @@ class QueuePair:
         yield sim.timeout(self.hca.fabric.latency(remote.hca.node_id,
                                                   self.hca.node_id))
         yield sim.timeout(cfg.pci_latency + cfg.hca_recv_processing)
+        local_shadow = self.hca.shadow
+        if local_shadow is not None:
+            local_shadow.on_rdma_write(self.hca, sge.addr, 8, self.qpn,
+                                       op="atomic-landing")
         self.hca.mem.write(sge.addr, old_raw)
         self.hca.stats.atomics += 1
         self._m_atomic_ops.inc()
@@ -446,6 +480,10 @@ class QueuePair:
         payload = self._gather(wr)
 
         if wr.opcode is Opcode.RDMA_WRITE:
+            shadow = remote.hca.shadow
+            if shadow is not None:
+                shadow.on_remote_access(remote.hca, wr.rkey,
+                                        wr.remote_addr, nbytes, "write")
             rmr = remote.hca.pd.lookup_rkey(wr.rkey)
             rmr.check_remote(wr.remote_addr, nbytes, Access.REMOTE_WRITE)
             self.hca.stats.rdma_writes += 1
@@ -511,6 +549,7 @@ class QueuePair:
             # empty payloads have nothing to flip; fall through
 
         nbytes = len(payload)
+        shadow = remote.hca.shadow
         if psn < remote.expected_psn:
             # duplicate retransmit: do NOT place again, just re-ack the
             # cached outcome so the requester can complete.
@@ -520,6 +559,9 @@ class QueuePair:
                       else WcStatus.SUCCESS)
         elif wr.opcode is Opcode.RDMA_WRITE:
             if nbytes:
+                if shadow is not None:
+                    shadow.on_rdma_write(remote.hca, wr.remote_addr,
+                                         nbytes, self.qpn)
                 remote.hca.mem.write(wr.remote_addr, payload)
             status = WcStatus.SUCCESS
             remote._resp_cache = (psn, status)
@@ -541,6 +583,10 @@ class QueuePair:
                         take = min(sge.length, nbytes - off)
                         if take <= 0:
                             break
+                        if shadow is not None:
+                            shadow.on_rdma_write(remote.hca, sge.addr,
+                                                 take, self.qpn,
+                                                 op="send")
                         remote.hca.mem.write(sge.addr,
                                              payload[off:off + take])
                         off += take
@@ -576,6 +622,10 @@ class QueuePair:
         for sge in wr.sges:
             self.hca.pd.lookup_lkey(sge.lkey).check_local(sge.addr,
                                                           sge.length)
+        shadow = remote.hca.shadow
+        if shadow is not None:
+            shadow.on_remote_access(remote.hca, wr.rkey,
+                                    wr.remote_addr, nbytes, "read")
         rmr = remote.hca.pd.lookup_rkey(wr.rkey)
         rmr.check_remote(wr.remote_addr, nbytes, Access.REMOTE_READ)
         self.psn += 1
@@ -600,7 +650,12 @@ class QueuePair:
             return
         if nbytes:
             off = 0
+            local_shadow = self.hca.shadow
             for sge in wr.sges:
+                if local_shadow is not None:
+                    local_shadow.on_rdma_write(self.hca, sge.addr,
+                                               sge.length, self.qpn,
+                                               op="read-landing")
                 self.hca.mem.write(sge.addr, result[off:off + sge.length])
                 off += sge.length
         self.hca.stats.rdma_reads += 1
@@ -660,6 +715,10 @@ class QueuePair:
             raise IBError("atomics need exactly one 8-byte local SGE")
         sge = wr.sges[0]
         self.hca.pd.lookup_lkey(sge.lkey).check_local(sge.addr, 8)
+        shadow = remote.hca.shadow
+        if shadow is not None:
+            shadow.on_remote_access(remote.hca, wr.rkey,
+                                    wr.remote_addr, 8, "atomic")
         rmr = remote.hca.pd.lookup_rkey(wr.rkey)
         rmr.check_remote(wr.remote_addr, 8, Access.REMOTE_ATOMIC)
         if wr.remote_addr % 8:
@@ -680,6 +739,10 @@ class QueuePair:
         else:
             self._enter_error(wr)
             return
+        local_shadow = self.hca.shadow
+        if local_shadow is not None:
+            local_shadow.on_rdma_write(self.hca, sge.addr, 8, self.qpn,
+                                       op="atomic-landing")
         self.hca.mem.write(sge.addr, old_raw)
         self.hca.stats.atomics += 1
         self._m_atomic_ops.inc()
@@ -711,14 +774,22 @@ class QueuePair:
                     return  # stale beyond the cache: no response
                 old_raw = cache[1]
             else:
+                shadow = remote.hca.shadow
                 old_raw = remote.hca.mem.read(wr.remote_addr, 8)
                 old = struct.unpack("<Q", old_raw)[0]
                 if wr.opcode is Opcode.FETCH_ADD:
                     new = (old + wr.compare_add) & 0xFFFFFFFFFFFFFFFF
+                    if shadow is not None:
+                        shadow.on_rdma_write(remote.hca, wr.remote_addr,
+                                             8, self.qpn, op="atomic")
                     remote.hca.mem.write(wr.remote_addr,
                                          struct.pack("<Q", new))
                 else:  # CMP_SWAP
                     if old == wr.compare_add:
+                        if shadow is not None:
+                            shadow.on_rdma_write(
+                                remote.hca, wr.remote_addr, 8,
+                                self.qpn, op="atomic")
                         remote.hca.mem.write(wr.remote_addr,
                                              struct.pack("<Q", wr.swap))
                 remote._resp_cache = (psn, old_raw)
@@ -757,7 +828,8 @@ class Hca:
 
     def __init__(self, sim: Simulator, net: FluidNetwork, fabric: Fabric,
                  cfg: HardwareConfig, node_id: int, mem: NodeMemory,
-                 membus: MemBus, faults=None, obs=None):
+                 membus: MemBus, faults: Any = None,
+                 obs: Any = None) -> None:
         self.sim = sim
         self.net = net
         self.fabric = fabric
@@ -779,6 +851,9 @@ class Hca:
         #: shared, cluster-wide fault-injection state (disabled by
         #: default — every hook short-circuits on an empty plan).
         self.faults = faults
+        #: optional shadow-memory sanitizer (repro.analysis.shadow);
+        #: None = hooks compile to a single attribute test.
+        self.shadow = None
         self.pd = ProtectionDomain(mem, node_id)
         self.pci = FluidResource(f"pci[{node_id}]", cfg.pci_dma_bandwidth)
         #: serializes RDMA-read responses (InfiniHost read engine)

@@ -31,7 +31,7 @@ class MemoryRegion:
     __slots__ = ("pd", "addr", "length", "lkey", "rkey", "access", "valid")
 
     def __init__(self, pd: "ProtectionDomain", addr: int, length: int,
-                 access: Access):
+                 access: Access) -> None:
         if length <= 0:
             raise ValueError("cannot register an empty region")
         # Registration is page-granular: pin whole pages.
@@ -88,13 +88,16 @@ class MemoryRegion:
 class ProtectionDomain:
     """Groups MRs and QPs; keys are resolved within a PD."""
 
-    def __init__(self, mem: NodeMemory, node_id: int):
+    def __init__(self, mem: NodeMemory, node_id: int) -> None:
         self.mem = mem
         self.node_id = node_id
         self._by_lkey: Dict[int, MemoryRegion] = {}
         self._by_rkey: Dict[int, MemoryRegion] = {}
         #: total pages currently pinned (stats / eviction policy input)
         self.pinned_pages = 0
+        #: optional shadow-memory sanitizer observing MR lifecycle
+        #: (see repro.analysis.shadow; None = zero overhead)
+        self.shadow: Optional[object] = None
 
     def register(self, addr: int, length: int,
                  access: Access = Access.all_access()) -> MemoryRegion:
@@ -104,6 +107,8 @@ class ProtectionDomain:
         self._by_lkey[mr.lkey] = mr
         self._by_rkey[mr.rkey] = mr
         self.pinned_pages += mr.page_span
+        if self.shadow is not None:
+            self.shadow.on_register(self, mr)
         return mr
 
     def deregister(self, mr: MemoryRegion) -> None:
@@ -113,6 +118,8 @@ class ProtectionDomain:
         del self._by_lkey[mr.lkey]
         del self._by_rkey[mr.rkey]
         self.pinned_pages -= mr.page_span
+        if self.shadow is not None:
+            self.shadow.on_deregister(self, mr)
 
     def lookup_lkey(self, lkey: int) -> MemoryRegion:
         mr = self._by_lkey.get(lkey)

@@ -31,7 +31,7 @@ __all__ = ["VapiContext"]
 class VapiContext:
     """Per-process handle to one HCA (the VAPI ``hca_hndl``)."""
 
-    def __init__(self, hca: Hca, cpu: Cpu):
+    def __init__(self, hca: Hca, cpu: Cpu) -> None:
         self.hca = hca
         self.cpu = cpu
         self.sim: Simulator = hca.sim
@@ -145,7 +145,8 @@ class VapiContext:
         :meth:`wait_cq`, which charges realistic detection costs)."""
         return cq.poll()
 
-    def poll_cq_many(self, cq: CompletionQueue, budget: int):
+    def poll_cq_many(self, cq: CompletionQueue,
+                     budget: int) -> List[Completion]:
         """Bounded batch drain of up to ``budget`` CQEs (zero simulated
         cost — the caller charges one poll cost for the batch, the
         amortization the adaptive progress engine exploits)."""

@@ -66,10 +66,13 @@ class Win:
             # peer's create call to pick up.  First-arrival (rather
             # than lowest-rank) creation keeps the collective legal
             # under any rank arrival order — the ranks may reach
-            # Win.create at different simulated times.
-            pair = (id(world), min(my_world_rank, peer_world),
+            # Win.create at different simulated times.  The handoff
+            # bucket lives on the world object so the key is a stable
+            # rank tuple, never an interpreter address.
+            pair = (min(my_world_rank, peer_world),
                     max(my_world_rank, peer_world))
-            bucket = _pending_qps.get((pair, my_world_rank))
+            pending = world.win_pending_qps
+            bucket = pending.get((pair, my_world_rank))
             if bucket:
                 win._qps[peer_local] = bucket.pop(0)
             else:
@@ -82,7 +85,7 @@ class Win:
                 qp_b = peer_hca.create_qp(cq_b)
                 qp_a.connect(qp_b)
                 win._qps[peer_local] = qp_a
-                _pending_qps.setdefault(
+                pending.setdefault(
                     (pair, peer_world), []).append(qp_b)
         # exchange window addresses/keys (collective, charged)
         infos = yield from comm.allgather(
@@ -300,7 +303,3 @@ class Win:
         self._freed = True
         self._epoch_open = False
         return None
-
-
-#: out-of-band QP handoff between collective Win.create calls
-_pending_qps: Dict[tuple, list] = {}

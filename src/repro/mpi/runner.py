@@ -89,6 +89,9 @@ class World:
         #: the observability hub this world was built with (NULL_OBS
         #: unless one was passed to build_world/run_mpi)
         self.obs = cluster.obs
+        #: out-of-band QP handoff between collective Win.create calls,
+        #: keyed by ((lo_rank, hi_rank), receiving_rank)
+        self.win_pending_qps: Dict[tuple, list] = {}
         self.contexts = [MpiContext(self, r, devices[r])
                          for r in range(nranks)]
 

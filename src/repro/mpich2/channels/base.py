@@ -272,7 +272,7 @@ class RdmaChannel(abc.ABC):
         """Tear down (idempotent)."""
         self.finalized = True
         return
-        yield  # pragma: no cover - makes this a generator
+        yield  # pragma: no cover - makes this a generator; lint: allow(silent-generator, intentional empty generator)
 
     @abc.abstractmethod
     def put(self, conn: Connection, iov: Sequence[Buffer]

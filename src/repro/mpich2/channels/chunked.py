@@ -134,7 +134,8 @@ class ChunkedChannel(RdmaChannel):
         consumption (the §4.3 piggybacked update)."""
         if conn.receiver.consumed > conn.receiver.credit_sent:
             self._m_piggy_tail.inc()
-        conn.receiver.credit_sent = conn.receiver.consumed
+        # the chunk being posted carries this value on the wire
+        conn.receiver.credit_sent = conn.receiver.consumed  # lint: allow(credit-publish, value rides in the outgoing chunk header)
 
     # ------------------------------------------------------------------
     # establish: rings, staging, QPs, out-of-band exchange

@@ -230,6 +230,12 @@ class RingReceiver:
         kind = int(view[base + 1])
         credit = struct.unpack("<Q", bytes(view[base + 4:base + 12]))[0]
         aux = struct.unpack("<I", bytes(view[base + 12:base + 16]))[0]
+        if self.ctx is not None:
+            shadow = getattr(self.ctx.hca, "shadow", None)
+            if shadow is not None:
+                shadow.on_ring_consume(
+                    self.ctx.hca, self.ring.addr + base,
+                    HDR_SIZE + payload_len + TRAILER_SIZE)
         return kind, payload_len, credit, aux
 
     def payload_buffer(self, payload_len: int) -> Buffer:

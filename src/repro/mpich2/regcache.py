@@ -31,8 +31,8 @@ class RegistrationCache:
 
     def __init__(self, ctx: VapiContext, capacity: int = 64,
                  enabled: bool = True, metrics=None):
-        if capacity < 1:
-            raise ValueError("cache capacity must be >= 1")
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
         self.ctx = ctx
         self.capacity = capacity
         self.enabled = enabled

@@ -58,11 +58,11 @@ class Observability:
     enabled = True
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None,
-                 timeline: Optional[Timeline] = None):
+                 timeline: Optional[Timeline] = None) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.timeline = timeline if timeline is not None else Timeline()
 
-    def scope(self, prefix: str):
+    def scope(self, prefix: str) -> Scope:
         """Shorthand for ``self.metrics.scope(prefix)``."""
         return self.metrics.scope(prefix)
 
@@ -72,7 +72,7 @@ class NullObservability(Observability):
 
     enabled = False
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__(NULL_METRICS, NULL_TIMELINE)
 
 

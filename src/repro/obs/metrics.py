@@ -22,7 +22,7 @@ sits in the tree.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Union
+from typing import Any, Dict, Iterable, Optional, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "Scope", "MetricsRegistry",
            "NullMetrics", "NULL_METRICS"]
@@ -36,7 +36,7 @@ class Counter:
     __slots__ = ("name", "value")
     kind = "counter"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
 
@@ -53,7 +53,7 @@ class Gauge:
     __slots__ = ("name", "value", "max_value")
     kind = "gauge"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
         self.max_value = 0
@@ -77,7 +77,7 @@ class Histogram:
     __slots__ = ("name", "count", "sum", "min", "max")
     kind = "histogram"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.sum = 0
@@ -107,7 +107,7 @@ class Scope:
 
     __slots__ = ("_registry", "_prefix")
 
-    def __init__(self, registry: "MetricsRegistry", prefix: str):
+    def __init__(self, registry: "MetricsRegistry", prefix: str) -> None:
         self._registry = registry
         self._prefix = prefix
 
@@ -134,7 +134,7 @@ class MetricsRegistry:
         self._metrics: Dict[str, object] = {}
 
     # -- creation ----------------------------------------------------------
-    def _get(self, name: str, cls):
+    def _get(self, name: str, cls: type) -> Any:
         m = self._metrics.get(name)
         if m is None:
             m = cls(name)
@@ -157,7 +157,7 @@ class MetricsRegistry:
         return Scope(self, prefix)
 
     # -- reading -----------------------------------------------------------
-    def get(self, name: str):
+    def get(self, name: str) -> Any:
         return self._metrics.get(name)
 
     def names(self) -> Iterable[str]:
@@ -235,13 +235,13 @@ class NullMetrics(MetricsRegistry):
     def __init__(self) -> None:
         super().__init__()
 
-    def counter(self, name: str):
+    def counter(self, name: str) -> Any:
         return _NULL_METRIC
 
     gauge = counter
     histogram = counter
 
-    def scope(self, prefix: str):
+    def scope(self, prefix: str) -> Any:
         return self
 
     def snapshot(self) -> Dict[str, Number]:

@@ -15,7 +15,7 @@ memcpy/RDMA spans the channels record.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .timeline import NULL_TIMELINE, Timeline
 
@@ -50,7 +50,8 @@ class MessageRecord:
 class MessageTracer:
     """Hooks the CH3 devices of a world (idempotent per world)."""
 
-    def __init__(self, world, timeline: Optional[Timeline] = None):
+    def __init__(self, world: Any,
+                 timeline: Optional[Timeline] = None) -> None:
         self.world = world
         if timeline is None:
             obs = getattr(world, "obs", None)
@@ -61,7 +62,7 @@ class MessageTracer:
         self._open: Dict[tuple, List[MessageRecord]] = {}
 
     @classmethod
-    def attach(cls, world, timeline: Optional[Timeline] = None
+    def attach(cls, world: Any, timeline: Optional[Timeline] = None
                ) -> "MessageTracer":
         tracer = cls(world, timeline)
         for dev in world.devices:
@@ -80,7 +81,7 @@ class MessageTracer:
             args={"bytes": rec.size,
                   "unexpected": rec.unexpected})
 
-    def _wrap_device(self, dev) -> None:
+    def _wrap_device(self, dev: Any) -> None:
         tracer = self
         orig_isend = dev.isend
         orig_begin_eager = dev._begin_eager
@@ -88,7 +89,8 @@ class MessageTracer:
         orig_send_done = dev._send_op_complete
         by_req: Dict[int, MessageRecord] = {}
 
-        def isend(iov, dest, tag, context):
+        def isend(iov: Any, dest: int, tag: int,
+                  context: int) -> Any:
             from ..mpich2.channels.base import iov_total
             rec = MessageRecord(dev.rank, dest, tag, context,
                                 iov_total(iov), tracer._now())
@@ -102,7 +104,7 @@ class MessageTracer:
                 by_req[req.req_id] = rec
             return req
 
-        def _send_op_complete(st, op):
+        def _send_op_complete(st: Any, op: Any) -> Any:
             if op.req is not None:
                 rec = by_req.pop(op.req.req_id, None)
                 if rec is not None:
@@ -111,7 +113,8 @@ class MessageTracer:
 
         dev._send_op_complete = _send_op_complete
 
-        def _begin_eager(st, src, tag, context, size):
+        def _begin_eager(st: Any, src: int, tag: int, context: int,
+                         size: int) -> Any:
             result = orig_begin_eager(st, src, tag, context, size)
             msg = st.inflight
             if msg is not None and msg.u is not None:
@@ -121,7 +124,7 @@ class MessageTracer:
                     fifo[0].unexpected = True
             return result
 
-        def _finish_inflight(st):
+        def _finish_inflight(st: Any) -> Any:
             msg = st.inflight
             if msg is not None:
                 src, tag, context, _size = msg.env

@@ -15,7 +15,7 @@ The workflow every counter test and benchmark uses::
 from __future__ import annotations
 
 from fnmatch import fnmatchcase
-from typing import Dict, Union
+from typing import Any, Dict, Union
 
 __all__ = ["snapshot", "diff", "aggregate", "format_report",
            "counter_report"]
@@ -23,7 +23,7 @@ __all__ = ["snapshot", "diff", "aggregate", "format_report",
 Number = Union[int, float]
 
 
-def _registry(obj):
+def _registry(obj: Any) -> Any:
     if hasattr(obj, "snapshot") and hasattr(obj, "counter"):
         return obj                       # a MetricsRegistry
     if hasattr(obj, "metrics"):
@@ -34,7 +34,7 @@ def _registry(obj):
                     f"{type(obj).__name__}")
 
 
-def snapshot(obj) -> Dict[str, Number]:
+def snapshot(obj: Any) -> Dict[str, Number]:
     """Flat ``{name: value}`` view of the registry right now."""
     return _registry(obj).snapshot()
 
@@ -98,7 +98,8 @@ _SUMMARY_ROWS = (
 )
 
 
-def counter_report(obj, title: str = "observability summary") -> str:
+def counter_report(obj: Any,
+                   title: str = "observability summary") -> str:
     """The cross-layer summary the README quickstart prints: one row
     per interesting aggregate, summed across ranks/nodes/QPs."""
     snap = snapshot(obj)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 __all__ = ["Span", "AsyncSpan", "Instant", "Timeline", "NullTimeline",
            "NULL_TIMELINE", "spans_overlap", "total_overlap"]
@@ -61,14 +61,15 @@ class Instant:
     args: Optional[dict] = None
 
 
-def spans_overlap(a, b) -> float:
+def spans_overlap(a: "Span", b: "Span") -> float:
     """Length of the intersection of two spans (0 when disjoint)."""
     lo = max(a.t0, b.t0)
     hi = min(a.t1, b.t1)
     return max(0.0, hi - lo)
 
 
-def total_overlap(group_a, group_b) -> float:
+def total_overlap(group_a: Iterable["Span"],
+                  group_b: Iterable["Span"]) -> float:
     """Total pairwise overlap between two span groups."""
     return sum(spans_overlap(a, b) for a in group_a for b in group_b)
 
@@ -165,7 +166,7 @@ class Timeline:
         trace_events.extend(e[2] for e in events)
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
-    def dump(self, path) -> None:
+    def dump(self, path: Any) -> None:
         """Write the Chrome-trace JSON file."""
         with open(path, "w") as fh:
             json.dump(self.to_chrome(), fh, indent=None,

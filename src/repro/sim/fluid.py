@@ -29,6 +29,7 @@ mechanically rather than by curve fitting:
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .engine import Event, Simulator
@@ -37,6 +38,11 @@ __all__ = ["FluidResource", "Flow", "FluidNetwork"]
 
 _EPS = 1e-15
 
+#: stable creation-order ids for resources/flows: dict keys derived
+#: from them are reproducible across runs, unlike ``id()``.
+_resource_uids = itertools.count()
+_flow_uids = itertools.count()
+
 
 class FluidResource:
     """A capacity-limited resource (a link direction or a memory bus).
@@ -44,12 +50,13 @@ class FluidResource:
     ``capacity`` is in resource-bytes per second.
     """
 
-    __slots__ = ("name", "capacity", "flows", "busy_time", "_busy_since",
-                 "bytes_served")
+    __slots__ = ("uid", "name", "capacity", "flows", "busy_time",
+                 "_busy_since", "bytes_served")
 
     def __init__(self, name: str, capacity: float):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        self.uid = next(_resource_uids)
         self.name = name
         self.capacity = float(capacity)
         self.flows: List["Flow"] = []
@@ -65,12 +72,13 @@ class FluidResource:
 class Flow:
     """One in-flight transfer."""
 
-    __slots__ = ("nbytes", "remaining", "route", "rate", "done", "label",
-                 "started_at", "finished_at")
+    __slots__ = ("uid", "nbytes", "remaining", "route", "rate", "done",
+                 "label", "started_at", "finished_at")
 
     def __init__(self, nbytes: float,
                  route: Sequence[Tuple[FluidResource, float]],
                  label: str = ""):
+        self.uid = next(_flow_uids)
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         if not route:
@@ -181,7 +189,7 @@ class FluidNetwork:
             flow.rate = 0.0
             costs: Dict[int, float] = {}
             for res, cost in flow.route:
-                rid = id(res)
+                rid = res.uid
                 resources[rid] = res
                 residual.setdefault(rid, res.capacity)
                 weight[rid] = weight.get(rid, 0.0) + cost
@@ -189,7 +197,7 @@ class FluidNetwork:
                 # copy through one bus counted once with summed cost) —
                 # accumulate.
                 costs[rid] = costs.get(rid, 0.0) + cost
-            flow_cost[id(flow)] = costs
+            flow_cost[flow.uid] = costs
 
         unfixed = list(self._active)
         level = 0.0
@@ -215,9 +223,9 @@ class FluidNetwork:
             level += best_delta
             # Freeze every unfixed flow crossing the bottleneck.
             frozen = [f for f in unfixed
-                      if best_rid in flow_cost[id(f)]]
+                      if best_rid in flow_cost[f.uid]]
             still = [f for f in unfixed
-                     if best_rid not in flow_cost[id(f)]]
+                     if best_rid not in flow_cost[f.uid]]
             for flow in frozen:
                 flow.rate = level
             # Update residuals/weights for the remaining flows.
@@ -226,7 +234,7 @@ class FluidNetwork:
                 if residual[rid] < 0:
                     residual[rid] = 0.0
             for flow in frozen:
-                for rid, cost in flow_cost[id(flow)].items():
+                for rid, cost in flow_cost[flow.uid].items():
                     weight[rid] -= cost
             weight[best_rid] = 0.0
             unfixed = still

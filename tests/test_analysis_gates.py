@@ -1,0 +1,41 @@
+"""Style/typing gates: run ruff and mypy when they are installed
+(the CI `analysis` job always has them); skip cleanly in the minimal
+simulation environment, which deliberately ships neither."""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_tool(*argv):
+    return subprocess.run(argv, cwd=ROOT, capture_output=True,
+                          text=True, timeout=600)
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff not installed")
+def test_ruff_clean():
+    proc = run_tool("ruff", "check", "src/repro/analysis")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None,
+                    reason="mypy not installed")
+def test_mypy_strict_tier():
+    proc = run_tool(sys.executable, "-m", "mypy",
+                    "-p", "repro.analysis")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_pyproject_declares_the_gates():
+    """The config the CI job relies on stays present."""
+    text = (ROOT / "pyproject.toml").read_text()
+    assert "[tool.ruff]" in text
+    assert "[tool.mypy]" in text
+    assert "strict = true" in text
+    assert (ROOT / "src" / "repro" / "py.typed").exists()

@@ -1,0 +1,75 @@
+"""The acceptance gate for the analysis tooling: the linter plus the
+shadow sanitizer must catch at least 8 of the 10 canned protocol bugs
+in ``repro/check/mutations.py`` — without ever invoking the
+differential oracle."""
+
+import pytest
+
+from repro.analysis import mutcheck
+from repro.check import oracle
+from repro.check.mutations import CATALOG
+
+
+@pytest.fixture(scope="module")
+def results(request):
+    """One static+dynamic sweep over the corpus, with the oracle
+    nailed shut: any call proves the tooling cheated."""
+    def _banned(*a, **kw):  # pragma: no cover - only on failure
+        raise AssertionError(
+            "analysis tooling consulted the differential oracle")
+
+    saved = oracle.check
+    oracle.check = _banned
+    try:
+        return mutcheck.check_mutations()
+    finally:
+        oracle.check = saved
+
+
+class TestCorpusCoverage:
+    def test_catches_at_least_eight_of_ten(self, results):
+        caught = [r.name for r in results if r.caught]
+        assert len(results) == len(CATALOG) == 10
+        assert len(caught) >= 8, mutcheck.format_results(results)
+
+    def test_static_prong_carries_the_shape_bugs(self, results):
+        by_name = {r.name: r for r in results}
+        expected_static = {
+            "header-before-payload": "ring-write-torn",
+            "skip-tail-update": "credit-publish",
+            "ignore-credits": "dead-protocol-param",
+            "ack-before-read": "ack-before-read-done",
+            "wrong-tag": "header-identity-arith",
+            "wrong-source": "header-identity-arith",
+            "skip-unexpected-copy": "silent-generator",
+            "match-ignores-tag": "dead-protocol-param",
+        }
+        for name, rule in expected_static.items():
+            r = by_name[name]
+            assert r.caught_static, name
+            assert rule in {f.rule for f in r.static_findings}, name
+
+    def test_early_deregister_caught_by_shadow_too(self):
+        """The §5 ownership bug is the one the *dynamic* prong must
+        own: even if the lint shape check were deleted, the shadow
+        fabric sees the dead rkey on the wire."""
+        mut = next(m for m in CATALOG if m.name == "early-deregister")
+        check = mutcheck.run_under_shadow(mut)
+        assert check.caught_dynamic
+        assert "use-after-deregister" in check.shadow_kinds
+        assert check.shadow_error is not None
+        assert "ShadowViolation" in check.shadow_error
+
+    def test_corrupt_payload_is_the_known_escape(self, results):
+        """A pure data-value flip has no protocol-shape signature and
+        places bytes legally — only the differential oracle sees it.
+        If this ever starts being 'caught', a rule has gone
+        over-broad."""
+        by_name = {r.name: r for r in results}
+        assert not by_name["corrupt-payload"].caught
+
+    def test_format_results_summarizes(self, results):
+        text = mutcheck.format_results(results)
+        assert "mutations caught without the oracle" in text
+        for r in results:
+            assert r.name in text

@@ -151,7 +151,7 @@ class TestCacheBehaviour:
     def test_capacity_validation(self):
         cluster = build_cluster(1)
         with pytest.raises(ValueError):
-            RegistrationCache(cluster.nodes[0].vapi(), capacity=0)
+            RegistrationCache(cluster.nodes[0].vapi(), capacity=-1)
 
 
 class TestCacheProperties:
@@ -186,3 +186,114 @@ class TestCacheProperties:
                 yield from cache.release(mr)
 
         run(cluster, prog())
+
+
+@pytest.fixture(params=[False, True], ids=["direct", "shadow"])
+def shadowed(request, monkeypatch):
+    """Run the deregistration-edge tests twice: plain, and with the
+    RDMA shadow sanitizer installed (REPRO_SHADOW=1) so any illegal
+    dereg ordering would raise a ShadowViolation."""
+    if request.param:
+        monkeypatch.setenv("REPRO_SHADOW", "1")
+    else:
+        monkeypatch.delenv("REPRO_SHADOW", raising=False)
+    return request.param
+
+
+class TestDeregEdges:
+    """The §5 ownership edges: eviction versus in-flight use,
+    deregistration only after the peer's ACK, and a residency-free
+    (capacity-0) cache."""
+
+    def test_evict_while_in_flight_skips_held_entry(self, shadowed):
+        cluster, node, cache = make(capacity=0)
+        buf_a, buf_b = node.alloc(4096), node.alloc(4096)
+
+        def prog():
+            mr_a = yield from cache.register(buf_a.addr, 4096)
+            mr_b = yield from cache.register(buf_b.addr, 4096)
+            # over capacity with both held: nothing may be evicted
+            yield from cache._evict_excess()
+            assert mr_a.valid and mr_b.valid
+            # dropping A makes only A evictable; B stays pinned
+            yield from cache.release(mr_a)
+            assert not mr_a.valid
+            assert mr_b.valid
+            yield from cache.release(mr_b)
+            return None
+
+        run(cluster, prog())
+        assert len(cache) == 0
+
+    def test_dereg_only_after_ack(self, shadowed):
+        """The compliant zero-copy order: the source registration is
+        released only after the peer's read completed and its ACK
+        arrived — legal with or without the sanitizer watching."""
+        cluster = build_cluster(2)
+        qp_a, qp_b = cluster.connect_pair(0, 1)
+        na, nb = cluster.nodes
+        ctx_a, ctx_b = na.vapi(), nb.vapi()
+        cache = RegistrationCache(ctx_b, capacity=0)
+        src = nb.alloc(4096)
+        dst = na.alloc(4096)
+        outcome = {}
+
+        def prog():
+            src_mr = yield from cache.register(src.addr, 4096)
+            dst_mr = yield from ctx_a.reg_mr(dst.addr, 4096)
+            yield from ctx_a.rdma_read(
+                qp_a, [(dst.addr, 4096, dst_mr.lkey)],
+                src.addr, src_mr.rkey)
+            yield from ctx_a.wait_cq(qp_a.send_cq)  # read done = ACK
+            yield from cache.release(src_mr)        # only now legal
+            outcome["ok"] = not src_mr.valid
+
+        cluster.spawn(prog(), "prog")
+        cluster.run()
+        assert outcome["ok"] is True
+        if cluster.shadow is not None:
+            assert cluster.shadow.violations == []
+
+    def test_dereg_before_ack_caught_by_shadow(self, monkeypatch):
+        """The violating order — release while the read is in flight —
+        is exactly what the sanitizer exists to catch."""
+        monkeypatch.setenv("REPRO_SHADOW", "1")
+        cluster = build_cluster(2)
+        qp_a, qp_b = cluster.connect_pair(0, 1)
+        na, nb = cluster.nodes
+        ctx_a, ctx_b = na.vapi(), nb.vapi()
+        cache = RegistrationCache(ctx_b, capacity=0)
+        src = nb.alloc(4096)
+        dst = na.alloc(4096)
+
+        def prog():
+            src_mr = yield from cache.register(src.addr, 4096)
+            dst_mr = yield from ctx_a.reg_mr(dst.addr, 4096)
+            rkey = src_mr.rkey
+            yield from cache.release(src_mr)  # BUG: read not yet done
+            yield from ctx_a.rdma_read(
+                qp_a, [(dst.addr, 4096, dst_mr.lkey)],
+                src.addr, rkey)
+            yield from ctx_a.wait_cq(qp_a.send_cq)
+
+        cluster.spawn(prog(), "prog")
+        with pytest.raises(Exception):
+            cluster.run()
+        assert any(v.kind == "use-after-deregister"
+                   for v in cluster.shadow.violations)
+
+    def test_capacity_zero_cache_keeps_nothing(self, shadowed):
+        cluster, node, cache = make(capacity=0)
+        buf = node.alloc(4096)
+
+        def prog():
+            for _ in range(3):
+                mr = yield from cache.register(buf.addr, 4096)
+                assert mr.valid
+                yield from cache.release(mr)
+                assert not mr.valid
+
+        run(cluster, prog())
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 3
+        assert node.hca.stats.deregistrations == 3
