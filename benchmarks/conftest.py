@@ -81,6 +81,16 @@ def adaptive_recorder(results_dir):
     _write_recorder(rec, results_dir)
 
 
+@pytest.fixture(scope="session")
+def simspeed_recorder(results_dir):
+    """Simulator-speed suite (events/sec, simulated bytes/sec of wall
+    clock): written to ``BENCH_simspeed.json`` and gated against its
+    own baseline at rtol=0.15."""
+    rec = BenchRecorder(suite="simspeed")
+    yield rec
+    _write_recorder(rec, results_dir)
+
+
 @pytest.fixture
 def record_figure(results_dir, capsys):
     """Save + show a FigureData table."""

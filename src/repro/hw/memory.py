@@ -28,13 +28,24 @@ class MemoryError_(Exception):
 
 
 class _Region:
-    __slots__ = ("start", "length", "data", "name")
+    __slots__ = ("start", "length", "_data", "name")
 
     def __init__(self, start: int, length: int, name: str):
         self.start = start
         self.length = length
-        self.data = np.zeros(length, dtype=np.uint8)
+        # Backing storage materializes on first access: large worlds
+        # allocate hundreds of thousands of rings/staging buffers of
+        # which most never carry traffic, and zeroing them eagerly
+        # dominates world construction time (and memory).
+        self._data: Optional[np.ndarray] = None
         self.name = name
+
+    @property
+    def data(self) -> np.ndarray:
+        buf = self._data
+        if buf is None:
+            buf = self._data = np.zeros(self.length, dtype=np.uint8)
+        return buf
 
     @property
     def end(self) -> int:
@@ -65,8 +76,9 @@ class NodeMemory:
             raise MemoryError_(f"allocation size must be positive: {nbytes}")
         addr = (self._next + self.alignment - 1) & ~(self.alignment - 1)
         region = _Region(addr, nbytes, name)
-        idx = bisect.bisect_left(self._starts, addr)
-        self._starts.insert(idx, addr)
+        # ``_next`` is monotonic, so ``addr`` exceeds every existing
+        # start — appending keeps ``_starts`` sorted without a bisect.
+        self._starts.append(addr)
         self._regions[addr] = region
         self._next = addr + nbytes
         self.allocated_bytes += nbytes

@@ -10,12 +10,11 @@ delay before a spinning consumer observes the CQE over the bus.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Deque, Generator, List, Optional
+from typing import Any, Generator, List, Optional
 
 from ..obs import NULL_METRICS
 from ..sim.engine import Event, Simulator
-from ..sim.sync import Gate
+from ..sim.sync import Fifo, Gate
 from .types import Completion, WcStatus
 
 __all__ = ["CompletionQueue", "CQOverflowError"]
@@ -33,7 +32,7 @@ class CompletionQueue:
         self.sim = sim
         self.depth = depth
         self.name = name
-        self._entries: Deque[Completion] = deque()
+        self._entries: Fifo = Fifo()
         self._gate = Gate(sim)
         self.completions_generated = 0
         #: CQEs pushed with a non-SUCCESS status (error observability

@@ -42,8 +42,11 @@ from __future__ import annotations
 import itertools
 import struct
 import zlib
-from collections import deque
-from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Generator, List, Optional,
+                    Tuple)
+
+import numpy as np
+import numpy.typing as npt
 
 from ..config import HardwareConfig
 from ..hw.membus import MemBus
@@ -51,7 +54,7 @@ from ..hw.memory import NodeMemory
 from ..obs import NULL_OBS
 from ..sim.engine import Event, Simulator
 from ..sim.fluid import FluidNetwork, FluidResource
-from ..sim.sync import Gate, Resource, Store
+from ..sim.sync import Fifo, Gate, Resource, Store
 from .cq import CompletionQueue
 from .fabric import Fabric
 from .mr import MemoryRegion, ProtectionDomain
@@ -100,7 +103,7 @@ class QueuePair:
         self.remote: Optional["QueuePair"] = None
         self.error: bool = False
         self._sq: Store = Store(hca.sim, capacity=max_send)
-        self._rq: Deque[RecvRequest] = deque()
+        self._rq: Fifo = Fifo()
         self._engine = None  # lazily started send-engine process
         self.outstanding_send_wqes = 0
         # -- per-QP observability (no-ops unless the cluster carries
@@ -216,13 +219,25 @@ class QueuePair:
                 self._complete(wr, WcStatus.RNR_RETRY_EXC_ERR, 0)
             self.outstanding_send_wqes -= 1
 
-    def _gather(self, wr: WorkRequest) -> bytes:
-        chunks = []
+    def _gather(self, wr: WorkRequest) -> npt.NDArray[np.uint8]:
+        """Snapshot the local SGEs into one contiguous array.
+
+        A single copy is required (not full zero-copy): senders reuse
+        staging buffers as soon as the descriptor is queued, so the
+        payload must be captured at gather time.  Returning an ndarray
+        instead of ``bytes`` makes every downstream scatter a slice
+        assignment with no further conversions.
+        """
+        views = []
         for sge in wr.sges:
             mr = self.hca.pd.lookup_lkey(sge.lkey)
             mr.check_local(sge.addr, sge.length)
-            chunks.append(self.hca.mem.read(sge.addr, sge.length))
-        return b"".join(chunks)
+            views.append(self.hca.mem.view(sge.addr, sge.length))
+        if not views:
+            return np.empty(0, dtype=np.uint8)
+        if len(views) == 1:
+            return views[0].copy()
+        return np.concatenate(views)
 
     def _execute_write_or_send(self, wr: WorkRequest) -> Generator:
         sim, cfg = self.hca.sim, self.hca.cfg
@@ -266,7 +281,7 @@ class QueuePair:
         sim.spawn(self._deliver(wr, payload, remote),
                   name=f"qp{self.qpn}.deliver")
 
-    def _deliver(self, wr: WorkRequest, payload: bytes,
+    def _deliver(self, wr: WorkRequest, payload: npt.NDArray[np.uint8],
                  remote: "QueuePair") -> Generator:
         sim, cfg = self.hca.sim, self.hca.cfg
         yield sim.timeout(self.hca.fabric.latency(self.hca.node_id,
@@ -280,6 +295,9 @@ class QueuePair:
                     shadow.on_rdma_write(remote.hca, wr.remote_addr,
                                          nbytes, self.qpn)
                 remote.hca.mem.write(wr.remote_addr, payload)
+                watch = remote.hca._placement_watch.get(wr.remote_addr)
+                if watch is not None:
+                    watch()
             # transparent to remote software; still pulse the gate so
             # simulated pollers can re-check their flags.
             remote.hca.inbound_gate.open()
@@ -343,7 +361,7 @@ class QueuePair:
         yield remote.hca.read_engine.acquire()
         try:
             yield sim.timeout(cfg.hca_read_response)
-            payload = remote.hca.mem.read(wr.remote_addr, nbytes)
+            payload = remote.hca.mem.view(wr.remote_addr, nbytes).copy()
             yield sim.timeout(cfg.pci_latency)
             if nbytes:
                 route = remote.hca.dma_route_to(self.hca)
@@ -477,7 +495,9 @@ class QueuePair:
         remote = self.remote
         assert remote is not None
         nbytes = wr.total_length
-        payload = self._gather(wr)
+        # the recovery path CRCs and fault-corrupts the payload, both
+        # of which operate on immutable bytes
+        payload = self._gather(wr).tobytes()
 
         if wr.opcode is Opcode.RDMA_WRITE:
             shadow = remote.hca.shadow
@@ -563,6 +583,9 @@ class QueuePair:
                     shadow.on_rdma_write(remote.hca, wr.remote_addr,
                                          nbytes, self.qpn)
                 remote.hca.mem.write(wr.remote_addr, payload)
+                watch = remote.hca._placement_watch.get(wr.remote_addr)
+                if watch is not None:
+                    watch()
             status = WcStatus.SUCCESS
             remote._resp_cache = (psn, status)
             remote.expected_psn = psn + 1
@@ -860,8 +883,20 @@ class Hca:
         self.read_engine = Resource(sim, capacity=1)
         #: pulsed on any inbound placement so pollers can re-check flags
         self.inbound_gate = Gate(sim)
+        #: exact-address placement hooks: when an inbound RDMA write
+        #: lands at a watched address, the callback runs (before the
+        #: gate pulse).  Channels use this to mark per-connection
+        #: receive state dirty so the CH3 progress engine can skip
+        #: quiescent connections instead of polling all N of them.
+        self._placement_watch: Dict[int, Callable[[], None]] = {}
         self.stats = HcaStats()
         fabric.attach(node_id)
+
+    def watch_placement(self, addr: int,
+                        cb: Callable[[], None]) -> None:
+        """Invoke ``cb`` whenever an inbound RDMA write places bytes
+        starting exactly at ``addr``."""
+        self._placement_watch[addr] = cb
 
     def create_cq(self, depth: int = 4096, name: str = "") -> CompletionQueue:
         return CompletionQueue(

@@ -21,11 +21,13 @@ from .datatypes import (BAND, BOR, BXOR, LAND, LOR, MAX, MAXLOC, MIN,
 from .cart import CartComm, dims_create
 from .derived import (CHAR, COMPLEX128, DOUBLE, FLOAT32, FLOAT64,
                       INT32, INT64, Datatype)
-from .runner import DESIGNS, MpiContext, World, build_world, run_mpi
+from .runner import (DESIGNS, MpiContext, World, build_world, run_mpi,
+                     run_mpi_profiled)
 from .status import Status
 
 __all__ = [
-    "run_mpi", "build_world", "DESIGNS", "MpiContext", "World",
+    "run_mpi", "run_mpi_profiled", "build_world", "DESIGNS",
+    "MpiContext", "World",
     "Communicator", "Status", "Request",
     "ANY_SOURCE", "ANY_TAG", "MpiError", "TruncateError",
     "Op", "SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "BAND", "BOR",

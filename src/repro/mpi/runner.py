@@ -8,7 +8,10 @@ exchange), launches the rank programs, and runs the event loop.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import gc
+from contextlib import contextmanager
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
 
@@ -108,6 +111,32 @@ class World:
         return out
 
 
+@contextmanager
+def _gc_paused() -> Iterator[None]:
+    """Pause the cyclic garbage collector while a world is built (and,
+    from :func:`run_mpi`, while the simulation runs).
+
+    A world is millions of long-lived, mutually referencing objects;
+    with the collector enabled, every generation-2 pass rescans that
+    whole heap, and the passes keep coming as construction allocates —
+    measured at ~5x the total wall time of a 256-rank build.  Pausing
+    is safe: reference counting still reclaims acyclic garbage
+    immediately, and fired events drop their callback lists, so cycle
+    churn during a run is minimal.  One collect on exit sweeps
+    whatever cycles did form, keeping memory bounded for callers that
+    loop over runs.  No-op when the collector is already off (nested
+    use, or the caller manages GC itself)."""
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+        gc.collect()
+
+
 def build_world(nranks: int, design: str = "zerocopy",
                 cfg: Optional[HardwareConfig] = None,
                 ch_cfg: Optional[ChannelConfig] = None,
@@ -137,49 +166,78 @@ def build_world(nranks: int, design: str = "zerocopy",
     nnodes = nnodes or nranks
     if nnodes > nranks:
         nnodes = nranks
-    cluster = build_cluster(nnodes, cfg, faults=faults, obs=obs,
-                            tie_seed=tie_seed,
-                            ncpus_per_node=max(2, -(-nranks // nnodes)))
 
-    # design -> (channel registry name, device class); the two CH3
-    # rendezvous designs pair a specific device with their channel
-    if design == "ch3":
-        from ..mpich2.ch3_rdma.device import Ch3RdmaDevice
-        channel_name = "pipeline"
-        device_cls = Ch3RdmaDevice
-    elif design == "adaptive":
-        from ..mpich2.ch3_rdma.adaptive import Ch3AdaptiveDevice
-        channel_name = "adaptive"
-        device_cls = Ch3AdaptiveDevice
-        if tune is None:
-            tune = TuneConfig()
-    else:
-        channel_name = design
-        device_cls = Ch3Device
+    with _gc_paused():
+        cluster = build_cluster(
+            nnodes, cfg, faults=faults, obs=obs, tie_seed=tie_seed,
+            ncpus_per_node=max(2, -(-nranks // nnodes)))
 
-    channel_cls = channel_registry.lookup(channel_name)
-    channels = []
-    for r in range(nranks):
-        node = cluster.nodes[r % nnodes]
-        cpu_index = r // nnodes
-        ctx = node.vapi(cpu_index % len(node.cpus))
-        chan = channel_registry.create(
-            channel_name, rank=r, node=node, ctx=ctx, cfg=cfg,
-            ch_cfg=ch_cfg, tune=tune)
-        chan.initialize(nranks)
-        channels.append(chan)
+        # design -> (channel registry name, device class); the two CH3
+        # rendezvous designs pair a specific device with their channel
+        if design == "ch3":
+            from ..mpich2.ch3_rdma.device import Ch3RdmaDevice
+            channel_name = "pipeline"
+            device_cls = Ch3RdmaDevice
+        elif design == "adaptive":
+            from ..mpich2.ch3_rdma.adaptive import Ch3AdaptiveDevice
+            channel_name = "adaptive"
+            device_cls = Ch3AdaptiveDevice
+            if tune is None:
+                tune = TuneConfig()
+        else:
+            channel_name = design
+            device_cls = Ch3Device
 
-    # full mesh (paper: every connection set up during initialization)
-    for i in range(nranks):
-        for j in range(i + 1, nranks):
-            channel_cls.establish(channels[i], channels[j])
+        channel_cls = channel_registry.lookup(channel_name)
+        channels = []
+        for r in range(nranks):
+            node = cluster.nodes[r % nnodes]
+            cpu_index = r // nnodes
+            ctx = node.vapi(cpu_index % len(node.cpus))
+            chan = channel_registry.create(
+                channel_name, rank=r, node=node, ctx=ctx, cfg=cfg,
+                ch_cfg=ch_cfg, tune=tune)
+            chan.initialize(nranks)
+            channels.append(chan)
 
-    devices = []
-    for r in range(nranks):
-        dev = device_cls(r, nranks, channels[r])
-        dev.attach_connections()
-        devices.append(dev)
-    return World(cluster, nranks, design, devices)
+        # full mesh (paper: every connection set up during init)
+        for i in range(nranks):
+            for j in range(i + 1, nranks):
+                channel_cls.establish(channels[i], channels[j])
+
+        devices = []
+        for r in range(nranks):
+            dev = device_cls(r, nranks, channels[r])
+            dev.attach_connections()
+            devices.append(dev)
+        return World(cluster, nranks, design, devices)
+
+
+def run_mpi_profiled(nranks: int, prog: Callable, *,
+                     design: str = "zerocopy",
+                     cfg: Optional[HardwareConfig] = None,
+                     ch_cfg: Optional[ChannelConfig] = None,
+                     nnodes: Optional[int] = None,
+                     faults: Optional[FaultPlan] = None,
+                     obs=None,
+                     tune: Optional[TuneConfig] = None,
+                     tie_seed: Optional[int] = None,
+                     args: Sequence = (),
+                     until: Optional[float] = None
+                     ) -> Tuple[List, "World"]:
+    """Like :func:`run_mpi`, but returns ``(per-rank return values,
+    world)`` so callers can inspect the finished world — the simspeed
+    benchmark and the scale tier read ``world.sim.events_processed``
+    and ``world.sim.now`` for throughput and run fingerprints.
+    """
+    with _gc_paused():
+        world = build_world(nranks, design, cfg, ch_cfg, nnodes, faults,
+                            obs=obs, tune=tune, tie_seed=tie_seed)
+        procs = [world.cluster.spawn(prog(ctx, *args),
+                                     f"rank{ctx.rank}")
+                 for ctx in world.contexts]
+        world.cluster.run(until)
+    return [p.value for p in procs], world
 
 
 def run_mpi(nranks: int, prog: Callable, *,
@@ -199,9 +257,8 @@ def run_mpi(nranks: int, prog: Callable, *,
     ``prog`` must be a generator function; all MPI calls inside use
     ``yield from`` (see the examples/ directory).
     """
-    world = build_world(nranks, design, cfg, ch_cfg, nnodes, faults,
-                        obs=obs, tune=tune, tie_seed=tie_seed)
-    procs = [world.cluster.spawn(prog(ctx, *args), f"rank{ctx.rank}")
-             for ctx in world.contexts]
-    world.cluster.run(until)
-    return [p.value for p in procs], world.sim.now
+    results, world = run_mpi_profiled(
+        nranks, prog, design=design, cfg=cfg, ch_cfg=ch_cfg,
+        nnodes=nnodes, faults=faults, obs=obs, tune=tune,
+        tie_seed=tie_seed, args=args, until=until)
+    return results, world.sim.now

@@ -20,11 +20,11 @@ lives in :mod:`repro.mpich2.ch3_rdma`.
 from __future__ import annotations
 
 import struct
-from collections import deque
-from typing import Deque, Dict, Generator, List, Optional, Sequence
+from typing import Dict, Generator, List, Optional, Sequence
 
 from ..config import ChannelConfig, HardwareConfig
 from ..hw.memory import Buffer
+from ..sim.sync import Fifo
 from ..ib.types import QPError
 from .adi3 import (ANY_SOURCE, ANY_TAG, Adi3Device, MpiError, Request,
                    TruncateError)
@@ -131,14 +131,25 @@ class _Inflight:
 class _ConnState:
     """Per-connection CH3 progress state."""
 
-    __slots__ = ("conn", "sendq", "hdr_buf", "hdr_off", "inflight")
+    __slots__ = ("conn", "sendq", "hdr_buf", "hdr_off", "inflight",
+                 "recv_dirty", "recv_gated")
 
     def __init__(self, conn: Connection, hdr_buf: Buffer):
         self.conn = conn
-        self.sendq: Deque[_SendOp] = deque()
+        self.sendq: Fifo = Fifo()
         self.hdr_buf = hdr_buf
         self.hdr_off = 0
         self.inflight: Optional[_Inflight] = None
+        #: inbound bytes may be waiting.  Cleared before each receive
+        #: sweep only on *gated* connections (ones whose channel
+        #: exposes a placement-watch address); set again by the HCA's
+        #: placement hook when the peer's flag write lands.  On
+        #: ungated connections it stays True and every sweep polls.
+        self.recv_dirty = True
+        self.recv_gated = False
+
+    def mark_recv_dirty(self) -> None:
+        self.recv_dirty = True
 
 
 class Ch3Device(Adi3Device):
@@ -167,7 +178,17 @@ class Ch3Device(Adi3Device):
         """Wire up per-connection state once the channel mesh exists."""
         for peer, conn in self.channel.conns.items():
             hdr = self.node.alloc(PKT_SIZE, f"ch3.hdr[{peer}]")
-            self.conn_state[peer] = _ConnState(conn, hdr)
+            st = _ConnState(conn, hdr)
+            self.conn_state[peer] = st
+            # Channels whose `get` keys off a single flag word written
+            # by the peer can tell us where that word lives; inbound
+            # placement there marks the connection dirty, letting the
+            # sweep below skip the other N-1 quiescent connections.
+            watch_addr = self.channel.recv_watch_addr(conn)
+            if watch_addr is not None:
+                st.recv_gated = True
+                self.node.hca.watch_placement(watch_addr,
+                                              st.mark_recv_dirty)
 
     # ------------------------------------------------------------------
     # ADI3: isend / irecv / iprobe
@@ -268,8 +289,19 @@ class Ch3Device(Adi3Device):
             hints = self._wait_hints() if block else None
             moved = False
             for st in self.conn_state.values():
-                moved |= yield from self._progress_recv(st)
-                moved |= yield from self._progress_send(st)
+                # Clear the dirty flag BEFORE sweeping (a placement
+                # landing mid-sweep must re-mark for the next pass),
+                # and only on gated connections — ungated ones poll
+                # every sweep.  Skipping a clean recv or an empty
+                # sendq costs no simulated time on any channel whose
+                # empty poll is yield-free, which is exactly what
+                # gating/`recv_watch_addr` certifies.
+                if st.recv_dirty:
+                    if st.recv_gated:
+                        st.recv_dirty = False
+                    moved |= yield from self._progress_recv(st)
+                if st.sendq:
+                    moved |= yield from self._progress_send(st)
             moved |= yield from self._extra_progress()
             if moved or not block:
                 return moved

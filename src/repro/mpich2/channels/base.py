@@ -291,6 +291,19 @@ class RdmaChannel(abc.ABC):
         spinning (costs are still charged on wake)."""
         return [self.node.hca.inbound_gate.wait()]
 
+    def recv_watch_addr(self, conn: Connection) -> Optional[int]:
+        """Local address whose inbound RDMA placement signals that
+        ``get`` on ``conn`` may yield data.
+
+        A channel may only return an address if (a) every inbound
+        message is announced by the peer writing that exact word
+        *after* its data is placed, and (b) an empty ``get`` is free
+        of simulated cost (no yields) — the CH3 progress engine then
+        skips the ``get`` entirely between placements, so any
+        would-be empty-poll cost would change timing.  ``None`` (the
+        default) keeps the unconditional per-sweep poll."""
+        return None
+
     def conn_to(self, peer_rank: int) -> Connection:
         try:
             return self.conns[peer_rank]

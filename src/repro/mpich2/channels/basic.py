@@ -77,6 +77,14 @@ class BasicChannel(RdmaChannel):
         self._m_tail_updates = m.counter("tail_updates")
         self._m_wire_bytes = m.counter("wire_bytes")
 
+    def recv_watch_addr(self, conn: BasicConnection) -> int:
+        # The peer announces data by RDMA-writing the head replica —
+        # always after the data writes have landed (same QP, in
+        # order) — and an empty `get` returns after one local head
+        # read with no yields, so the basic design satisfies both
+        # conditions for receive gating.
+        return conn.head_replica.addr
+
     @classmethod
     def establish(cls, a: "BasicChannel", b: "BasicChannel") -> None:
         if a.rank == b.rank:

@@ -1,6 +1,6 @@
 """Discrete-event simulation engine.
 
-The engine is a classic event-heap scheduler with generator-based
+The engine is a calendar-queue scheduler with generator-based
 processes (in the style of SimPy, re-implemented here because no
 third-party DES library is available offline).
 
@@ -13,6 +13,33 @@ A *process* is a Python generator that yields :class:`Event` objects
 yielded event fires, the generator is resumed with the event's value;
 if the event failed, the exception is thrown into the generator.
 Sub-routines compose with plain ``yield from``.
+
+Scheduling internals
+--------------------
+Events live in per-timestamp *buckets* (a dict keyed by the exact
+float timestamp) ordered by a small heap of distinct timestamps.  The
+run loop dequeues a whole bucket at a time — one heap operation per
+*distinct* timestamp instead of one per event — which matters because
+simulated hardware overwhelmingly schedules bursts of same-time
+callbacks (completions, gate broadcasts, zero-delay continuations).
+
+The tie-break contract is unchanged from the historical event-heap
+implementation and is locked down by ``tests/test_sim_equivalence.py``:
+
+* ``tie_seed=None`` (default): same-time events run in insertion
+  order, bit-for-bit the historical ``(when, seq)`` schedule.  Bucket
+  entries are a plain FIFO list; appends made *while* the bucket is
+  draining are picked up in the same pass, exactly like pushing onto
+  the old heap at the current timestamp.
+* ``tie_seed=<int>``: each scheduled callback draws a pseudo-random
+  priority from ``random.Random(tie_seed)`` and same-time events run
+  in ``(prio, seq)`` order.  Bucket entries form a per-bucket heap.
+
+Cancelled callbacks (e.g. the HCA's ack-timeout timers, the fluid
+network's completion wakeups) are reaped lazily; when more than half
+of the queued entries are dead the queue compacts itself, so a
+workload that schedules and cancels far-future timers keeps a bounded
+queue.
 
 Example
 -------
@@ -31,7 +58,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 __all__ = [
     "Simulator",
@@ -301,13 +328,19 @@ class AllOf(_Condition):
 class _Handle:
     """Cancellable handle for a raw scheduled callback."""
 
-    __slots__ = ("cancelled",)
+    __slots__ = ("cancelled", "_queued", "_sim")
 
-    def __init__(self) -> None:
+    def __init__(self, sim: "Simulator") -> None:
         self.cancelled = False
+        #: still sitting in a bucket (reset when dequeued or reaped)
+        self._queued = True
+        self._sim = sim
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queued:
+                self._sim._note_cancel()
 
 
 class Simulator:
@@ -328,9 +361,17 @@ class Simulator:
     such as data-vs-flag write ordering.
     """
 
+    #: compaction floor: below this many queued entries, dead-entry
+    #: reaping is not worth the rebuild.
+    _COMPACT_MIN = 64
+
     def __init__(self, tie_seed: Optional[int] = None) -> None:
         self.now: float = 0.0
-        self._heap: List = []
+        #: timestamp -> bucket of entries.  FIFO list under the default
+        #: policy, a (prio, seq, ...) heap under seeded perturbation.
+        self._buckets: Dict[float, List] = {}
+        #: heap of the distinct timestamps present in ``_buckets``
+        self._times: List[float] = []
         self._seq = itertools.count()
         self._live_processes = 0
         self._crashed: List = []
@@ -338,6 +379,16 @@ class Simulator:
         self.tie_seed = tie_seed
         self._tie_rng = (None if tie_seed is None
                          else random.Random(tie_seed))
+        #: queued entries (live + cancelled-but-unreaped)
+        self._pending_events = 0
+        #: cancelled entries still occupying queue slots
+        self._cancelled_events = 0
+        #: the bucket currently being bulk-drained (compaction must
+        #: not mutate it out from under the drain loop)
+        self._drain_bucket: Optional[List] = None
+        #: total callbacks executed (cancelled entries excluded) —
+        #: the numerator of the simspeed benchmark's events/sec.
+        self.events_processed = 0
 
     # -- scheduling primitives ------------------------------------------
     def _schedule_at(self, when: float, fn: Callable, *args: Any) -> _Handle:
@@ -345,12 +396,25 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past ({when} < {self.now})"
             )
-        handle = _Handle()
-        # the priority slot is 0 under the default policy, so the heap
-        # order (when, 0, seq) collapses to the historical (when, seq)
-        prio = 0 if self._tie_rng is None else self._tie_rng.getrandbits(32)
-        heapq.heappush(self._heap,
-                       (when, prio, next(self._seq), handle, fn, args))
+        handle = _Handle(self)
+        bucket = self._buckets.get(when)
+        if self._tie_rng is None:
+            # FIFO bucket: append order == the historical (when, seq)
+            # heap order, including appends made mid-drain.
+            if bucket is None:
+                self._buckets[when] = [(handle, fn, args)]
+                heapq.heappush(self._times, when)
+            else:
+                bucket.append((handle, fn, args))
+        else:
+            entry = (self._tie_rng.getrandbits(32), next(self._seq),
+                     handle, fn, args)
+            if bucket is None:
+                self._buckets[when] = [entry]
+                heapq.heappush(self._times, when)
+            else:
+                heapq.heappush(bucket, entry)
+        self._pending_events += 1
         return handle
 
     def _schedule_call(self, fn: Callable, *args: Any) -> _Handle:
@@ -397,42 +461,181 @@ class Simulator:
             f"process yielded {target!r}; expected an Event or generator"
         )
 
+    # -- queue bookkeeping ----------------------------------------------
+    @property
+    def _heap(self) -> List[float]:
+        """Truthiness-compatible view of the pending queue (legacy
+        name: the old implementation exposed the raw event heap)."""
+        return self._times
+
+    @property
+    def pending_events(self) -> int:
+        """Queued entries, including cancelled ones not yet reaped."""
+        return self._pending_events
+
+    def _note_cancel(self) -> None:
+        self._cancelled_events += 1
+        if (self._cancelled_events > self._COMPACT_MIN
+                and self._cancelled_events * 2 > self._pending_events):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Reap cancelled entries (the bucket currently being drained
+        is left alone — its loop skips dead entries anyway)."""
+        cur = self._drain_bucket
+        fifo = self._tie_rng is None
+        hidx = 0 if fifo else 2
+        removed = 0
+        dead_times = []
+        for t, bucket in self._buckets.items():
+            if bucket is cur:
+                continue
+            live = [e for e in bucket if not e[hidx].cancelled]
+            dropped = len(bucket) - len(live)
+            if not dropped:
+                continue
+            removed += dropped
+            for e in bucket:
+                h = e[hidx]
+                if h.cancelled:
+                    h._queued = False
+            if live:
+                if not fifo:
+                    heapq.heapify(live)
+                bucket[:] = live
+            else:
+                dead_times.append(t)
+        for t in dead_times:
+            del self._buckets[t]
+        if dead_times:
+            # rebuild in place: the run loop may hold an alias
+            self._times[:] = self._buckets.keys()
+            heapq.heapify(self._times)
+        self._pending_events -= removed
+        self._cancelled_events -= removed
+
     # -- execution -------------------------------------------------------
     def step(self) -> None:
         """Execute the next scheduled callback."""
-        when, _prio, _seq, handle, fn, args = heapq.heappop(self._heap)
+        t = self._times[0]
+        bucket = self._buckets[t]
+        if self._tie_rng is None:
+            handle, fn, args = bucket.pop(0)
+        else:
+            _prio, _seq, handle, fn, args = heapq.heappop(bucket)
+        if not bucket:
+            heapq.heappop(self._times)
+            del self._buckets[t]
+        self._pending_events -= 1
+        handle._queued = False
         if handle.cancelled:
+            self._cancelled_events -= 1
             return
-        self.now = when
+        self.now = t
+        self.events_processed += 1
         fn(*args)
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or ``until`` is reached.
+        """Run until the queue drains or ``until`` is reached.
 
         Raises :class:`DeadlockError` if live processes remain with an
-        empty heap, and re-raises the failure of any process that
+        empty queue, and re-raises the failure of any process that
         crashed unobserved.  Returns the final simulation time.
         """
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
+        times = self._times
+        fifo = self._tie_rng is None
+        while times:
+            t = times[0]
+            if until is not None and t > until:
                 self.now = until
                 break
-            self.step()
-            if self._crashed:
-                proc, exc = self._crashed[0]
-                raise SimulationError(
-                    f"process {proc.name!r} crashed"
-                ) from exc
-        if not self._heap and self._live_processes > 0 and until is None:
+            bucket = self._buckets[t]
+            if fifo:
+                self._drain_fifo(t, bucket)
+            else:
+                self._drain_heap(t, bucket)
+        if not times and self._live_processes > 0 and until is None:
             raise DeadlockError(
                 f"{self._live_processes} process(es) blocked forever "
                 f"at t={self.now}"
             )
         return self.now
 
+    def _drain_fifo(self, t: float, bucket: List) -> None:
+        """Bulk-dequeue every entry scheduled at ``t``, including ones
+        appended while draining, in insertion order."""
+        crashed = self._crashed
+        self._drain_bucket = bucket
+        i = 0
+        try:
+            while i < len(bucket):
+                handle, fn, args = bucket[i]
+                i += 1
+                self._pending_events -= 1
+                handle._queued = False
+                if handle.cancelled:
+                    self._cancelled_events -= 1
+                    continue
+                self.now = t
+                self.events_processed += 1
+                fn(*args)
+                if crashed:
+                    proc, exc = crashed[0]
+                    raise SimulationError(
+                        f"process {proc.name!r} crashed"
+                    ) from exc
+        finally:
+            self._drain_bucket = None
+            if i >= len(bucket):
+                heapq.heappop(self._times)
+                del self._buckets[t]
+            else:
+                del bucket[:i]
+
+    def _drain_heap(self, t: float, bucket: List) -> None:
+        """Seeded-perturbation drain: same-time entries pop in
+        (prio, seq) order, interleaving entries pushed mid-drain."""
+        crashed = self._crashed
+        self._drain_bucket = bucket
+        try:
+            while bucket:
+                _prio, _seq, handle, fn, args = heapq.heappop(bucket)
+                self._pending_events -= 1
+                handle._queued = False
+                if handle.cancelled:
+                    self._cancelled_events -= 1
+                    continue
+                self.now = t
+                self.events_processed += 1
+                fn(*args)
+                if crashed:
+                    proc, exc = crashed[0]
+                    raise SimulationError(
+                        f"process {proc.name!r} crashed"
+                    ) from exc
+        finally:
+            self._drain_bucket = None
+            if not bucket:
+                heapq.heappop(self._times)
+                del self._buckets[t]
+
     def peek(self) -> float:
         """Time of the next scheduled callback (``inf`` if none)."""
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else float("inf")
+        hidx = 0 if self._tie_rng is None else 2
+        while self._times:
+            t = self._times[0]
+            bucket = self._buckets[t]
+            while bucket:
+                handle = bucket[0][hidx]
+                if not handle.cancelled:
+                    return t
+                if hidx == 0:
+                    bucket.pop(0)
+                else:
+                    heapq.heappop(bucket)
+                handle._queued = False
+                self._pending_events -= 1
+                self._cancelled_events -= 1
+            heapq.heappop(self._times)
+            del self._buckets[t]
+        return float("inf")

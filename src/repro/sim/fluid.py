@@ -25,12 +25,40 @@ mechanically rather than by curve fitting:
 * a memcpy running concurrently with a DMA on the same node shares the
   memory bus, which caps the pipelined design near ``bus_bw / 3``;
 * two MPI streams over one link each get half the wire.
+
+Solvers
+-------
+The default solver (``solver="vector"``) runs the progressive-filling
+loop over numpy arrays: one division and one argmin across all
+resources per filling level, plus a *zero-cascade* that retires every
+already-saturated resource in a single pass instead of one loop
+iteration each.  It is bit-for-bit equivalent to the historical
+per-dict scalar loop, which is kept as ``solver="scalar"`` purely as a
+reference implementation for the equivalence suite
+(``tests/test_fluid_vector_equivalence.py``); simulated physics must
+not depend on which solver ran.
+
+Equivalence rests on three facts, each locked down by tests:
+
+* elementwise array arithmetic performs the same IEEE-754 operations
+  the scalar loop performed per resource, in an order-insensitive
+  pattern (no cross-element dependencies);
+* column order replicates the legacy weight-dict insertion order
+  (first appearance while scanning active flows in order), so the
+  bottleneck tie-break — first within-epsilon candidate wins — picks
+  the same resource; near-ties inside the epsilon band fall back to an
+  exact replica of the scalar fold;
+* in-practice cost weights are small integers, so regrouped sums are
+  exact; non-integer weights take a scalar accumulation path that
+  preserves the legacy operation order.
 """
 
 from __future__ import annotations
 
 import itertools
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .engine import Event, Simulator
 
@@ -73,7 +101,8 @@ class Flow:
     """One in-flight transfer."""
 
     __slots__ = ("uid", "nbytes", "remaining", "route", "rate", "done",
-                 "label", "started_at", "finished_at")
+                 "label", "started_at", "finished_at", "_pairs",
+                 "_int_costs", "_scan", "_idx")
 
     def __init__(self, nbytes: float,
                  route: Sequence[Tuple[FluidResource, float]],
@@ -94,6 +123,34 @@ class Flow:
         self.label = label
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        # Routes are immutable, so the per-resource summed costs (a
+        # flow may cross the same bus twice) are computed once instead
+        # of on every reallocation.  Order: first appearance in the
+        # route, matching the historical per-reallocation dict build.
+        pairs: List[Tuple[FluidResource, float]] = []
+        index: Dict[int, int] = {}
+        int_costs = True
+        for res, cost in route:
+            c = float(cost)
+            if not c.is_integer():
+                int_costs = False
+            i = index.get(res.uid)
+            if i is None:
+                index[res.uid] = len(pairs)
+                pairs.append((res, c))
+            else:
+                pairs[i] = (res, pairs[i][1] + c)
+        self._pairs = pairs
+        #: all-integer cost weights make regrouped float sums exact,
+        #: enabling the vector solver's batched accumulation.
+        self._int_costs = int_costs
+        #: scan-friendly mirror of _pairs — (uid, summed_cost, res)
+        #: triples unpack without per-pair attribute lookups in the
+        #: reallocation hot loop.
+        self._scan = [(r.uid, c, r) for r, c in pairs]
+        #: position in FluidNetwork._active, stamped by the vector
+        #: solver at the start of each reallocation.
+        self._idx = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Flow {self.label} {self.remaining:.0f}/{self.nbytes:.0f}B"
@@ -102,12 +159,21 @@ class Flow:
 
 class FluidNetwork:
     """Tracks active flows over a set of resources and computes exact
-    completion times under max-min fair sharing."""
+    completion times under max-min fair sharing.
 
-    def __init__(self, sim: Simulator):
+    ``solver`` selects the allocation implementation: ``"vector"``
+    (default, numpy batch) or ``"scalar"`` (the historical loop, kept
+    as a reference for equivalence testing).  Both produce bit-for-bit
+    identical rates and completion times.
+    """
+
+    def __init__(self, sim: Simulator, solver: str = "vector"):
+        if solver not in ("vector", "scalar"):
+            raise ValueError(f"unknown solver {solver!r}")
         self.sim = sim
+        self.solver = solver
         self._active: List[Flow] = []
-        self._wake_handle = None
+        self._wake_handle: Optional[Any] = None
         self._last_update = 0.0
 
     # -- public API ------------------------------------------------------
@@ -179,18 +245,197 @@ class FluidNetwork:
             self._wake_handle = None
         if not self._active:
             return
+        if self.solver == "vector":
+            self._alloc_vector()
+        else:
+            self._alloc_scalar()
 
+        # next completion
+        next_done = float("inf")
+        for flow in self._active:
+            if flow.rate > _EPS:
+                next_done = min(next_done, flow.remaining / flow.rate)
+        if next_done < float("inf"):
+            if self.sim.now + next_done <= self.sim.now:
+                # The residual transfer time is below the float
+                # resolution of the current timestamp (large t, tiny
+                # remainder): the clock cannot advance, so complete
+                # the sub-resolution flows right here instead of
+                # scheduling a wakeup that would spin at now forever.
+                finished = [f for f in self._active
+                            if f.rate > _EPS
+                            and self.sim.now + f.remaining / f.rate
+                            <= self.sim.now]
+                for flow in finished:
+                    flow.remaining = 0.0
+                    self._detach(flow)
+                    flow.finished_at = self.sim.now
+                    flow.done.succeed(flow)
+                self._reallocate()
+                return
+            self._wake_handle = self.sim.call_in(next_done, self._wakeup)
+
+    # -- vector solver -----------------------------------------------------
+    def _alloc_vector(self) -> None:
+        """Numpy progressive filling, bit-for-bit equal to
+        :meth:`_alloc_scalar` (see the module docstring for the
+        equivalence argument)."""
+        active = self._active
+        n = len(active)
+        # Column order = first appearance scanning active flows in
+        # order — exactly the legacy weight-dict insertion order, so
+        # index-based tie-breaks match the dict-iteration tie-breaks.
+        # With all-integer costs (the overwhelmingly common case), the
+        # scan does one dict probe and one list-index add per pair and
+        # nothing else: the reverse map from a bottleneck column to
+        # its crossing flows already exists as ``res.flows``, and a
+        # flow's own columns resolve through ``col_of`` at freeze
+        # time.  Non-integer costs fall back to per-column flow lists
+        # so the freeze order (ascending flow position, pairs in
+        # _pairs order) replicates the legacy rounding exactly.
+        all_int = all(f._int_costs for f in active)
+        col_of: Dict[int, int] = {}
+        cap: List[float] = []
+        wl: List[float] = []
+        res_of_col: List[FluidResource] = []
+        col_flows: List[List[int]] = []
+        get_col = col_of.get
+        for fi, flow in enumerate(active):
+            flow.rate = 0.0
+            flow._idx = fi
+            if all_int:
+                for uid, cost, res in flow._scan:
+                    j = get_col(uid)
+                    if j is None:
+                        j = len(cap)
+                        col_of[uid] = j
+                        cap.append(res.capacity)
+                        wl.append(0.0)
+                        res_of_col.append(res)
+                    wl[j] += cost
+            else:
+                for uid, cost, res in flow._scan:
+                    j = get_col(uid)
+                    if j is None:
+                        j = len(cap)
+                        col_of[uid] = j
+                        cap.append(res.capacity)
+                        wl.append(0.0)
+                        res_of_col.append(res)
+                        col_flows.append([])
+                    col_flows[j].append(fi)
+        m = len(cap)
+        residual = np.array(cap, dtype=np.float64)
+        if not all_int:
+            # non-integer weights: replicate the legacy per-route-entry
+            # accumulation order so rounding matches bitwise.  (With
+            # all-integer costs every partial sum is exact, so the
+            # per-pair accumulation above is already identical.)
+            wl = [0.0] * m
+            for flow in active:
+                for res, cost in flow.route:
+                    wl[col_of[res.uid]] += cost
+        w = np.array(wl, dtype=np.float64)
+
+        def freeze_col(j: int, level: float) -> int:
+            """Freeze every unfixed flow crossing column j at
+            ``level``; returns how many froze.  Integer costs make
+            the weight subtractions exact, so the ``res.flows``
+            membership order is as good as the legacy ascending scan;
+            non-integer costs take the order-preserving path."""
+            froze = 0
+            if all_int:
+                for flow in res_of_col[j].flows:
+                    fi = flow._idx
+                    if not unfixed[fi]:
+                        continue
+                    flow.rate = level
+                    unfixed[fi] = False
+                    froze += 1
+                    for uid, c, _res in flow._scan:
+                        w[col_of[uid]] -= c
+            else:
+                for fi in col_flows[j]:
+                    if not unfixed[fi]:
+                        continue
+                    flow = active[fi]
+                    flow.rate = level
+                    unfixed[fi] = False
+                    froze += 1
+                    for uid, c, _res in flow._scan:
+                        w[col_of[uid]] -= c
+            return froze
+
+        inf = float("inf")
+        level = 0.0
+        unfixed = [True] * n
+        n_unfixed = n
+        while n_unfixed:
+            wmask = w > _EPS
+            if not wmask.any():
+                # No constraining resource left (shouldn't happen since
+                # every flow crosses at least one resource).
+                for fi in range(n):
+                    if unfixed[fi]:
+                        active[fi].rate = inf
+                break
+            d = np.divide(residual, w, out=np.full(m, inf), where=wmask)
+            dmin = d.min()
+            # Near-ties within the hysteresis band make the selection
+            # depend on the legacy fold's scan history; outside the
+            # band, first-occurrence argmin is provably identical.
+            straggler = bool(((d > dmin) & (d <= dmin + _EPS)).any())
+            if not straggler and dmin == 0.0:
+                # Zero-cascade: every saturated column freezes its
+                # crossers at the current level in one pass.  A zero
+                # delta leaves `level` and every residual bitwise
+                # unchanged, so this equals the legacy
+                # one-column-per-iteration sequence.
+                for j in np.nonzero((residual == 0.0) & wmask)[0]:
+                    j = int(j)
+                    if w[j] <= _EPS:
+                        continue
+                    n_unfixed -= freeze_col(j, level)
+                    w[j] = 0.0
+                continue
+            if straggler:
+                # exact replica of the legacy hysteresis fold
+                best = inf
+                sel = -1
+                for j in range(m):
+                    if w[j] <= _EPS:
+                        continue
+                    delta = float(residual[j]) / float(w[j])
+                    if delta < best - _EPS or (
+                        delta < best + _EPS and sel < 0
+                    ):
+                        best = delta
+                        sel = j
+                j0 = sel
+                best_delta = best
+            else:
+                j0 = int(np.argmin(d))
+                best_delta = float(dmin)
+            level += best_delta
+            # residual update uses pre-freeze weights (legacy order)
+            residual -= w * best_delta
+            residual[residual < 0.0] = 0.0
+            n_unfixed -= freeze_col(j0, level)
+            w[j0] = 0.0
+
+    # -- scalar solver (test-only reference) -------------------------------
+    def _alloc_scalar(self) -> None:
+        """The historical dict-based progressive-filling loop, kept as
+        the reference implementation for the equivalence suite."""
         # residual capacity and unfixed cost-weight per resource
         residual: Dict[int, float] = {}
         weight: Dict[int, float] = {}
-        resources: Dict[int, FluidResource] = {}
         flow_cost: Dict[int, Dict[int, float]] = {}
         for flow in self._active:
             flow.rate = 0.0
             costs: Dict[int, float] = {}
             for res, cost in flow.route:
                 rid = res.uid
-                resources[rid] = res
                 residual.setdefault(rid, res.capacity)
                 weight[rid] = weight.get(rid, 0.0) + cost
                 # a flow may cross the same resource twice (e.g. a local
@@ -238,31 +483,6 @@ class FluidNetwork:
                     weight[rid] -= cost
             weight[best_rid] = 0.0
             unfixed = still
-
-        # next completion
-        next_done = float("inf")
-        for flow in self._active:
-            if flow.rate > _EPS:
-                next_done = min(next_done, flow.remaining / flow.rate)
-        if next_done < float("inf"):
-            if self.sim.now + next_done <= self.sim.now:
-                # The residual transfer time is below the float
-                # resolution of the current timestamp (large t, tiny
-                # remainder): the clock cannot advance, so complete
-                # the sub-resolution flows right here instead of
-                # scheduling a wakeup that would spin at now forever.
-                finished = [f for f in self._active
-                            if f.rate > _EPS
-                            and self.sim.now + f.remaining / f.rate
-                            <= self.sim.now]
-                for flow in finished:
-                    flow.remaining = 0.0
-                    self._detach(flow)
-                    flow.finished_at = self.sim.now
-                    flow.done.succeed(flow)
-                self._reallocate()
-                return
-            self._wake_handle = self.sim.call_in(next_done, self._wakeup)
 
     def _wakeup(self) -> None:
         self._wake_handle = None

@@ -1,0 +1,113 @@
+"""Vectorized fluid solver vs the scalar reference: bit-for-bit.
+
+The max-min fair progressive-filling solver in
+:mod:`repro.sim.fluid` was vectorized with numpy
+(``solver="vector"``, the default); the historical dict-based loop is
+kept as ``solver="scalar"`` purely as a reference implementation.
+Simulated physics must not depend on which solver ran, and "must not"
+here means *exact float equality* — completion times feed the golden
+replay digests, so even a 1-ulp drift would invalidate the corpus.
+
+The suite drives randomized sets of concurrent transfers — shared
+bottlenecks, repeated resources on one route, staggered start times,
+integer and non-integer cost weights — through two identically
+scheduled simulations, one per solver, and compares every completion
+time and every intermediate rate with ``==``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.fluid import FluidNetwork, FluidResource
+
+# realistic capacity scales (memory buses, IB links) plus awkward
+# non-round values that exercise the float arithmetic
+CAPACITIES = [1e6, 7.5e7, 8.5e8, 1e9, 2.4e9, 3_333_333_333.0]
+
+START_TIMES = [0.0, 0.0, 1e-6, 2e-6, 1e-3]
+
+#: integer costs take the vector solver's batched accumulation;
+#: non-integer ones its order-preserving scalar fallback — both paths
+#: must be exercised
+COSTS = [1.0, 1.0, 2.0, 3.0, 1.5, 2.25]
+
+
+@st.composite
+def _scenarios(draw):
+    ncaps = draw(st.integers(min_value=1, max_value=5))
+    caps = draw(st.lists(st.sampled_from(CAPACITIES),
+                         min_size=ncaps, max_size=ncaps))
+    route = st.lists(
+        st.tuples(st.integers(min_value=0, max_value=ncaps - 1),
+                  st.sampled_from(COSTS)),
+        min_size=1, max_size=4)
+    transfers = draw(st.lists(
+        st.tuples(st.sampled_from(START_TIMES),
+                  st.integers(min_value=0, max_value=2_000_000),
+                  route),
+        min_size=1, max_size=8))
+    return caps, transfers
+
+
+def _run(solver, caps, transfers):
+    """Replay one scenario; returns per-transfer completion times and
+    the sequence of rate vectors observed at each start instant."""
+    sim = Simulator()
+    net = FluidNetwork(sim, solver=solver)
+    resources = [FluidResource(f"r{i}", c) for i, c in enumerate(caps)]
+    finished = {}
+    rate_trace = []
+
+    def start(key, nbytes, route_spec):
+        route = [(resources[i], cost) for i, cost in route_spec]
+        ev = net.transfer(nbytes, route, label=str(key))
+        ev.add_callback(
+            lambda e: finished.__setitem__(key, sim.now))
+        rate_trace.append([f.rate for f in net.active_flows])
+
+    for key, (at, nbytes, route_spec) in enumerate(transfers):
+        sim.call_at(at, start, key, nbytes, route_spec)
+    sim.run()
+    assert len(finished) == len(transfers)
+    return finished, rate_trace
+
+
+@settings(max_examples=200, deadline=None)
+@given(_scenarios())
+def test_solvers_bitwise_identical(scenario):
+    caps, transfers = scenario
+    done_v, rates_v = _run("vector", caps, transfers)
+    done_s, rates_s = _run("scalar", caps, transfers)
+    assert done_v == done_s  # exact float equality, no tolerance
+    assert rates_v == rates_s
+
+
+def test_scalar_solver_is_selectable():
+    sim = Simulator()
+    net = FluidNetwork(sim, solver="scalar")
+    assert net.solver == "scalar"
+    res = FluidResource("link", 1e9)
+    done = net.transfer(1e6, [(res, 1.0)])
+    sim.run()
+    assert done.triggered and sim.now == 1e6 / 1e9
+
+
+def test_unknown_solver_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        FluidNetwork(Simulator(), solver="quantum")
+
+
+def test_shared_bottleneck_exact_split():
+    """Two flows over one link: each gets half the wire, identically
+    under both solvers (the paper's two-stream sharing case)."""
+    for solver in ("vector", "scalar"):
+        sim = Simulator()
+        net = FluidNetwork(sim, solver=solver)
+        link = FluidResource("link", 1e9)
+        a = net.transfer(1e6, [(link, 1.0)])
+        b = net.transfer(1e6, [(link, 1.0)])
+        sim.run()
+        assert a.triggered and b.triggered
+        assert sim.now == 2e6 / 1e9
