@@ -91,6 +91,16 @@ def simspeed_recorder(results_dir):
     _write_recorder(rec, results_dir)
 
 
+@pytest.fixture(scope="session")
+def memscale_recorder(results_dir):
+    """Memory-footprint suite (pinned bytes per rank, QPs created,
+    connections established): written to ``BENCH_memscale.json`` and
+    gated against its own baseline at rtol=0.15."""
+    rec = BenchRecorder(suite="memscale")
+    yield rec
+    _write_recorder(rec, results_dir)
+
+
 @pytest.fixture
 def record_figure(results_dir, capsys):
     """Save + show a FigureData table."""

@@ -1,6 +1,6 @@
 """Validate the analysis tooling against the canned bug corpus.
 
-``repro/check/mutations.py`` carries ten known-dangerous protocol
+``repro/check/mutations.py`` carries twelve known-dangerous protocol
 edits that the *differential oracle* is known to catch.  This module
 proves the static/dynamic analysis prongs catch (most of) the same
 bugs **without ever executing the oracle**:

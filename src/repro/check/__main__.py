@@ -29,7 +29,7 @@ from .shrink import ShrinkResult, shrink, write_replay, replay as _replay
 GOLDEN_SEEDS = (11, 23, 31, 47, 59, 101, 149, 211, 307, 401)
 #: designs pinned by the golden corpus (kept small for CI runtime;
 #: the fuzz matrix still covers every design).
-GOLDEN_DESIGNS = ("piggyback", "zerocopy", "tcp")
+GOLDEN_DESIGNS = ("piggyback", "zerocopy", "tcp", "srq", "srq-lazy")
 
 
 def _parse_designs(arg):

@@ -6,7 +6,9 @@ pointer before the data (§4.3's single-write invariant), skipping the
 explicit tail update (§4.3's flow-control escape hatch), releasing a
 registration before the peer's RDMA read, acknowledging rendezvous
 data before the read completed (Fig. 10's completion rules), matching
-violations, and unexpected-path copy bugs.  The smoke runner applies
+violations, unexpected-path copy bugs, and the shared-receive-pool
+hazards the ``srq`` design introduces (leaked credits, receive slots
+recycled before copy-out).  The smoke runner applies
 each mutation, runs a small tailored spec through the conformance
 check, and verifies the harness *catches* it (expected-model
 mismatch, matching-rules violation, hang, or error).
@@ -91,6 +93,22 @@ def _unexpected_spec() -> WorkloadSpec:
                 P2PPhase(messages=(
                     P2PMessage(src=2, dst=1, tag=1, size=1000),))),
         ch_cfg=dict(_RING_CFG), time_cap=0.2)
+
+
+#: shared-pool geometry: 4 one-KB slots and a 2-message credit window,
+#: so a 6-message one-way stream must recycle pool slots and can only
+#: advance on explicit credit writes (no reverse traffic to piggyback).
+_SRQ_CFG = {"srq_pool_slots": 4, "srq_credits": 2,
+            "srq_slot_size": 1 * KB}
+
+
+def _srq_spec(n: int = 6, size: int = 500) -> WorkloadSpec:
+    msgs = tuple(P2PMessage(src=0, dst=1, tag=0, size=size)
+                 for _ in range(n))
+    return WorkloadSpec(seed=0, nranks=2,
+                        phases=(P2PPhase(messages=msgs,
+                                         blocking=True),),
+                        ch_cfg=dict(_SRQ_CFG), time_cap=0.2)
 
 
 def _permuted_spec() -> WorkloadSpec:
@@ -266,6 +284,41 @@ def _mut_match_ignores_tag():
     return undo
 
 
+def _mut_srq_credit_leak():
+    """Mark explicit SRQ credits as sent without the RDMA write.  On a
+    one-way stream there is no reverse traffic to piggyback credits
+    on, so the sender's window never refills past ``srq_credits``."""
+    from ..mpich2.channels import srq as srq_chan
+
+    def bad(self, conn):
+        conn.last_credit_sent = conn.consumed_msgs
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    return _patch(srq_chan.SrqChannel, "_send_explicit_credit", bad)
+
+
+def _mut_srq_pool_write_race():
+    """Recycle each shared-pool receive slot at CQE time, before the
+    consumer copies the payload out (the classic repost-too-early SRQ
+    bug): in-flight traffic may land in a slot whose previous message
+    is still queued unread, and the duplicate repost at consume time
+    breaks the pool's WQE accounting."""
+    from ..mpich2.channels import srq as srq_chan
+
+    orig = srq_chan._RecvPool.drain
+
+    def bad(self):
+        orig(self)
+        for q in self.flows.values():
+            for seg in q:
+                if len(seg) == 3:  # not yet recycled early
+                    self.srq.post(self.make_rr(seg[0]))
+                    seg.append(True)
+
+    return _patch(srq_chan._RecvPool, "drain", bad)
+
+
 CATALOG: List[Mutation] = [
     Mutation("header-before-payload",
              "chunk header posted without payload+trailer "
@@ -314,6 +367,16 @@ CATALOG: List[Mutation] = [
              "message matching ignores the tag",
              "pipeline", _permuted_spec(),
              _mut_match_ignores_tag),
+    Mutation("srq-credit-leak",
+             "explicit SRQ credit marked sent but never written "
+             "(sender starves at the credit window)",
+             "srq", _srq_spec(),
+             _mut_srq_credit_leak),
+    Mutation("srq-pool-write-race",
+             "shared receive slot recycled at CQE time, before "
+             "copy-out (arriving data can overwrite unread slots)",
+             "srq", _srq_spec(),
+             _mut_srq_pool_write_race),
 ]
 
 

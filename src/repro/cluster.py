@@ -14,7 +14,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Generator, List, Optional
 
-from .config import HardwareConfig
+from .config import PAGE_SIZE, HardwareConfig
 from .faults import FaultPlan, FaultState
 from .hw.cpu import Cpu
 from .hw.membus import MemBus
@@ -42,6 +42,9 @@ class Node:
         self.hca = Hca(sim, net, cluster.fabric, cfg, node_id,
                        self.mem, self.membus, faults=cluster.faults,
                        obs=cluster.obs)
+        #: scratch space for channel designs that share state across
+        #: the co-located ranks of one node (e.g. ``mux`` pools)
+        self.channel_state: Dict = {}
 
     def vapi(self, cpu_index: int = 0) -> VapiContext:
         """Open a VAPI context bound to one of this node's CPUs."""
@@ -108,6 +111,18 @@ class Cluster:
 
     def run(self, until: Optional[float] = None) -> float:
         return self.sim.run(until)
+
+    # -- memory-footprint accounting (the quantities the connection-
+    # -- scaling designs exist to shrink; gated by BENCH_memscale) ------
+    def pinned_bytes(self) -> int:
+        """Registered (pinned) memory across all nodes, in bytes (page
+        granularity, like the OS pin accounting)."""
+        return sum(node.hca.pd.pinned_pages for node in self.nodes) \
+            * PAGE_SIZE
+
+    def live_qps(self) -> int:
+        """Queue pairs created across all nodes."""
+        return sum(node.hca.stats.qps_created for node in self.nodes)
 
 
 def build_cluster(nnodes: int, cfg: Optional[HardwareConfig] = None,

@@ -290,6 +290,21 @@ class ChannelConfig(_ConfigMixin):
     regcache_capacity: int = 64
     #: CH3 rendezvous threshold for the CH3-level design (§6).
     ch3_rndv_threshold: int = 32 * KB
+    # -- srq/mux connection-scaling designs (post-paper; see
+    # docs/DESIGN.md §"Connection scaling") ---------------------------
+    #: receive buffers in the per-rank shared pool (SRQ designs).  The
+    #: pool is shared by *all* peers, so pinned receive memory is
+    #: srq_pool_slots * srq_slot_size regardless of world size.
+    srq_pool_slots: int = 64
+    #: bytes per shared receive buffer, including the 16-byte header.
+    srq_slot_size: int = 8 * KB
+    #: per-peer send window in messages — at most this many SENDs to
+    #: one peer may be outstanding without a credit return, bounding
+    #: any single peer's share of the shared pool.
+    srq_credits: int = 8
+    #: bounded QP pool per node pair in the multiplexed ("mux")
+    #: design; peer flows hash onto the pool deterministically.
+    qp_pool_size: int = 4
 
     def __post_init__(self):
         if self.ring_size % self.chunk_size != 0:
@@ -298,3 +313,13 @@ class ChannelConfig(_ConfigMixin):
             raise ValueError("chunk_size too small to hold packet headers")
         if not (0.0 < self.tail_update_fraction < 1.0):
             raise ValueError("tail_update_fraction must be in (0, 1)")
+        if self.srq_slot_size < 256:
+            raise ValueError("srq_slot_size too small to hold headers")
+        if self.srq_pool_slots < 2:
+            raise ValueError("srq pool needs at least 2 slots")
+        if self.srq_credits < 1:
+            raise ValueError("srq_credits must be >= 1")
+        if not (1 <= self.srq_credits <= self.srq_pool_slots):
+            raise ValueError("srq_credits cannot exceed srq_pool_slots")
+        if self.qp_pool_size < 1:
+            raise ValueError("qp_pool_size must be >= 1")

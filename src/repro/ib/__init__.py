@@ -10,6 +10,7 @@ from .cq import CompletionQueue, CQOverflowError
 from .fabric import Fabric
 from .hca import Hca, HcaStats, QueuePair
 from .mr import MemoryRegion, ProtectionDomain
+from .srq import SharedReceiveQueue
 from .types import (Access, AccessError, Completion, IBError, Opcode,
                     QPError, RecvRequest, RnrError, Sge, WcStatus,
                     WorkRequest)
@@ -17,7 +18,8 @@ from .verbs import VapiContext
 
 __all__ = [
     "Fabric", "Hca", "HcaStats", "QueuePair", "CompletionQueue",
-    "CQOverflowError", "MemoryRegion", "ProtectionDomain", "VapiContext",
+    "CQOverflowError", "MemoryRegion", "ProtectionDomain",
+    "SharedReceiveQueue", "VapiContext",
     "Access", "AccessError", "Completion", "IBError", "Opcode", "QPError",
     "RecvRequest", "RnrError", "Sge", "WcStatus", "WorkRequest",
 ]

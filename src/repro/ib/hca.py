@@ -58,11 +58,12 @@ from ..sim.sync import Fifo, Gate, Resource, Store
 from .cq import CompletionQueue
 from .fabric import Fabric
 from .mr import MemoryRegion, ProtectionDomain
+from .srq import SharedReceiveQueue
 from .types import (Access, AccessError, Completion, IBError, Opcode,
                     QPError, RecvRequest, RnrError, Sge, WcStatus,
                     WorkRequest)
 
-__all__ = ["Hca", "QueuePair", "HcaStats"]
+__all__ = ["Hca", "QueuePair", "HcaStats", "SharedReceiveQueue"]
 
 _qpn_counter = itertools.count(0x40)
 
@@ -83,6 +84,11 @@ class HcaStats:
         self.registrations = 0
         self.deregistrations = 0
         self.atomics = 0
+        #: QPs created on this HCA over its lifetime — with connections
+        #: never torn down mid-run, also the live-QP count the
+        #: memory-footprint gate tracks.
+        self.qps_created = 0
+        self.srqs_created = 0
 
     def snapshot(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -93,13 +99,19 @@ class QueuePair:
 
     def __init__(self, hca: "Hca", send_cq: CompletionQueue,
                  recv_cq: CompletionQueue, max_send: int = 4096,
-                 max_recv: int = 4096) -> None:
+                 max_recv: int = 4096,
+                 srq: Optional[SharedReceiveQueue] = None) -> None:
+        if srq is not None and srq.hca is not hca:
+            raise QPError("SRQ belongs to a different HCA")
         self.hca = hca
         self.qpn = next(_qpn_counter)
         self.send_cq = send_cq
         self.recv_cq = recv_cq
         self.max_send = max_send
         self.max_recv = max_recv
+        #: shared receive queue; when set, inbound SENDs consume WQEs
+        #: from the pool instead of this QP's private receive queue.
+        self.srq = srq
         self.remote: Optional["QueuePair"] = None
         self.error: bool = False
         self._sq: Store = Store(hca.sim, capacity=max_send)
@@ -166,6 +178,10 @@ class QueuePair:
         assert ok, "store capacity must match max_send"
 
     def post_recv(self, rr: RecvRequest) -> None:
+        if self.srq is not None:
+            raise QPError(
+                f"QP {self.qpn} is attached to an SRQ; post receive "
+                f"WQEs to the shared pool instead")
         if len(self._rq) >= self.max_recv:
             raise QPError(f"QP {self.qpn} receive queue full")
         # Validate lkeys eagerly (real HCAs check on placement; eager
@@ -302,11 +318,17 @@ class QueuePair:
             # simulated pollers can re-check their flags.
             remote.hca.inbound_gate.open()
         else:  # SEND consumes a receive WQE
-            if not remote._rq:
-                remote.error = True
-                self._complete(wr, WcStatus.RNR_RETRY_EXC_ERR, 0)
-                return
-            rr = remote._rq.popleft()
+            if remote.srq is not None:
+                # Pool dry = RNR backpressure: block FIFO until the
+                # consumer replenishes (delaying this requester's
+                # completion like an RNR retry loop would).
+                rr = yield from remote.srq.consume()
+            else:
+                if not remote._rq:
+                    remote.error = True
+                    self._complete(wr, WcStatus.RNR_RETRY_EXC_ERR, 0)
+                    return
+                rr = remote._rq.popleft()
             if rr.total_length < nbytes:
                 remote.error = True
                 self._complete(wr, WcStatus.LOC_LEN_ERR, 0)
@@ -592,11 +614,21 @@ class QueuePair:
             remote.hca.inbound_gate.open()
         else:  # SEND consumes a receive WQE
             status = WcStatus.SUCCESS
-            if not remote._rq:
+            rr = None
+            if remote.srq is not None:
+                rr = remote.srq.try_consume()
+                if rr is None:
+                    # RNR NAK: discard before consuming a PSN and send
+                    # no ack — the requester's stop-and-wait machinery
+                    # retransmits after its timeout, by which time the
+                    # consumer may have replenished the pool.
+                    return
+            elif not remote._rq:
                 remote.error = True
                 status = WcStatus.RNR_RETRY_EXC_ERR
             else:
                 rr = remote._rq.popleft()
+            if rr is not None:
                 if rr.total_length < nbytes:
                     remote.error = True
                     status = WcStatus.LOC_LEN_ERR
@@ -906,7 +938,19 @@ class Hca:
     def create_qp(self, send_cq: CompletionQueue,
                   recv_cq: Optional[CompletionQueue] = None,
                   **kw) -> QueuePair:
-        return QueuePair(self, send_cq, recv_cq or send_cq, **kw)
+        self.stats.qps_created += 1
+        # identity check, not truthiness: an empty CQ is len()==0/falsy
+        return QueuePair(
+            self, send_cq,
+            send_cq if recv_cq is None else recv_cq, **kw)
+
+    def create_srq(self, max_wr: int = 4096,
+                   name: str = "") -> SharedReceiveQueue:
+        """Create a shared receive queue; pass it to :meth:`create_qp`
+        via ``srq=`` to attach QPs."""
+        self.stats.srqs_created += 1
+        return SharedReceiveQueue(self, max_wr,
+                                  name or f"srq[{self.node_id}]")
 
     def dma_route_to(self, remote: "Hca") -> List[Tuple[FluidResource, float]]:
         """Fluid route for payload DMA from this node's memory to

@@ -22,6 +22,7 @@ from ..sim.engine import Simulator
 from .cq import CompletionQueue
 from .hca import Hca, QueuePair
 from .mr import MemoryRegion
+from .srq import SharedReceiveQueue
 from .types import (Access, Completion, Opcode, RecvRequest,
                     RegistrationError, Sge, WcStatus, WorkRequest)
 
@@ -73,6 +74,9 @@ class VapiContext:
                   **kw) -> QueuePair:
         return self.hca.create_qp(send_cq, recv_cq, **kw)
 
+    def create_srq(self, max_wr: int = 4096) -> SharedReceiveQueue:
+        return self.hca.create_srq(max_wr)
+
     # -- posting -------------------------------------------------------------
     def post_send(self, qp: QueuePair, wr: WorkRequest) -> Generator:
         yield from self.cpu.work(self.cfg.post_wqe_cpu)
@@ -82,6 +86,14 @@ class VapiContext:
     def post_recv(self, qp: QueuePair, rr: RecvRequest) -> Generator:
         yield from self.cpu.work(self.cfg.post_wqe_cpu)
         qp.post_recv(rr)
+        return None
+
+    def post_srq(self, srq: SharedReceiveQueue,
+                 rr: RecvRequest) -> Generator:
+        """Post a receive WQE to a shared receive queue; same
+        descriptor-post CPU toll as a per-QP post."""
+        yield from self.cpu.work(self.cfg.post_wqe_cpu)
+        srq.post(rr)
         return None
 
     # Convenience builders ---------------------------------------------------

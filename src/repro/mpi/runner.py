@@ -30,7 +30,8 @@ __all__ = ["MpiContext", "World", "run_mpi", "build_world", "DESIGNS"]
 
 #: design name -> (channel name, device factory)
 DESIGNS = ("shm", "basic", "piggyback", "pipeline", "zerocopy",
-           "ch3", "multimethod", "tcp", "adaptive")
+           "ch3", "multimethod", "tcp", "adaptive",
+           "srq", "mux", "srq-lazy")
 
 
 class MpiContext:
@@ -110,6 +111,12 @@ class World:
                 out[k] = out.get(k, 0) + v
         return out
 
+    def connection_count(self) -> int:
+        """Established channel connections (unordered rank pairs) —
+        the quantity on-demand establishment keeps at O(pairs that
+        actually communicated) instead of O(N²)."""
+        return sum(len(d.channel.conns) for d in self.devices) // 2
+
 
 @contextmanager
 def _gc_paused() -> Iterator[None]:
@@ -184,10 +191,16 @@ def build_world(nranks: int, design: str = "zerocopy",
             device_cls = Ch3AdaptiveDevice
             if tune is None:
                 tune = TuneConfig()
+        elif design == "srq-lazy":
+            # the srq channel with on-demand connection establishment:
+            # no init-time mesh, connections appear on first send
+            channel_name = "srq"
+            device_cls = Ch3Device
         else:
             channel_name = design
             device_cls = Ch3Device
 
+        lazy = design == "srq-lazy"
         channel_cls = channel_registry.lookup(channel_name)
         channels = []
         for r in range(nranks):
@@ -200,16 +213,26 @@ def build_world(nranks: int, design: str = "zerocopy",
             chan.initialize(nranks)
             channels.append(chan)
 
-        # full mesh (paper: every connection set up during init)
-        for i in range(nranks):
-            for j in range(i + 1, nranks):
-                channel_cls.establish(channels[i], channels[j])
+        if not lazy:
+            # full mesh (paper: every connection set up during init)
+            for i in range(nranks):
+                for j in range(i + 1, nranks):
+                    channel_cls.establish(channels[i], channels[j])
 
         devices = []
         for r in range(nranks):
             dev = device_cls(r, nranks, channels[r])
             dev.attach_connections()
             devices.append(dev)
+
+        if lazy:
+            from ..mpich2.connect import LazyConnector
+            connector = LazyConnector(
+                cluster, channel_cls,
+                {r: channels[r] for r in range(nranks)})
+            for dev in devices:
+                dev.connector = connector
+                connector.devices[dev.rank] = dev
         return World(cluster, nranks, design, devices)
 
 

@@ -165,6 +165,9 @@ class Ch3Device(Adi3Device):
         self.unexpected: List[_Unexpected] = []
         self.eager_sent = 0
         self.messages_received = 0
+        #: on-demand connection machinery (None = eager full mesh);
+        #: set by the runner for lazy designs
+        self.connector = None
         #: the channel's adaptive controller (NULL_TUNER on every
         #: static design: all feeds/queries are no-ops)
         self.tuner = getattr(channel, "tuner", NULL_TUNER)
@@ -176,19 +179,25 @@ class Ch3Device(Adi3Device):
 
     def attach_connections(self) -> None:
         """Wire up per-connection state once the channel mesh exists."""
-        for peer, conn in self.channel.conns.items():
-            hdr = self.node.alloc(PKT_SIZE, f"ch3.hdr[{peer}]")
-            st = _ConnState(conn, hdr)
-            self.conn_state[peer] = st
-            # Channels whose `get` keys off a single flag word written
-            # by the peer can tell us where that word lives; inbound
-            # placement there marks the connection dirty, letting the
-            # sweep below skip the other N-1 quiescent connections.
-            watch_addr = self.channel.recv_watch_addr(conn)
-            if watch_addr is not None:
-                st.recv_gated = True
-                self.node.hca.watch_placement(watch_addr,
-                                              st.mark_recv_dirty)
+        for peer in self.channel.conns:
+            self.attach_connection(peer)
+
+    def attach_connection(self, peer: int) -> None:
+        """Wire up CH3 state for one established connection (called
+        per-peer by the lazy connector, in bulk by the eager path)."""
+        conn = self.channel.conns[peer]
+        hdr = self.node.alloc(PKT_SIZE, f"ch3.hdr[{peer}]")
+        st = _ConnState(conn, hdr)
+        self.conn_state[peer] = st
+        # Channels whose `get` keys off a single flag word written
+        # by the peer can tell us where that word lives; inbound
+        # placement there marks the connection dirty, letting the
+        # sweep below skip the other N-1 quiescent connections.
+        watch_addr = self.channel.recv_watch_addr(conn)
+        if watch_addr is not None:
+            st.recv_gated = True
+            self.node.hca.watch_placement(watch_addr,
+                                          st.mark_recv_dirty)
 
     # ------------------------------------------------------------------
     # ADI3: isend / irecv / iprobe
@@ -198,8 +207,10 @@ class Ch3Device(Adi3Device):
         if dest == self.rank:
             raise MpiError("self-sends are handled by the MPI layer")
         if dest not in self.conn_state:
-            raise MpiError(f"rank {self.rank} has no connection to "
-                           f"rank {dest}")
+            if self.connector is None:
+                raise MpiError(f"rank {self.rank} has no connection to "
+                               f"rank {dest}")
+            yield from self.connector.connect(self.rank, dest)
         yield from self.channel.ctx.cpu.work(self.cfg.ch3_packet_overhead)
         req = Request("send")
         size = iov_total(iov)
@@ -288,7 +299,9 @@ class Ch3Device(Adi3Device):
             # sleep would never wake (lost-wakeup race).
             hints = self._wait_hints() if block else None
             moved = False
-            for st in self.conn_state.values():
+            # list(): the lazy connector may attach a connection while
+            # a sweep is parked inside a charged copy
+            for st in list(self.conn_state.values()):
                 # Clear the dirty flag BEFORE sweeping (a placement
                 # landing mid-sweep must re-mark for the next pass),
                 # and only on gated connections — ungated ones poll
@@ -322,7 +335,12 @@ class Ch3Device(Adi3Device):
             if not per_conn:
                 break  # IB designs share one per-node gate
         if not hints:
-            hints.append(self.node.cluster.sim.timeout(1e-6))
+            if self.connector is not None:
+                # no connections yet: sleep on the node gate, which the
+                # connector pulses when a peer attaches to us
+                hints.append(self.node.hca.inbound_gate.wait())
+            else:
+                hints.append(self.node.cluster.sim.timeout(1e-6))
         return hints
 
     def _progress_send(self, st: _ConnState

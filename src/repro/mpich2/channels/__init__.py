@@ -11,6 +11,8 @@ zerocopy     :class:`ZeroCopyChannel`         §5
 multimethod  :class:`MultiMethodChannel`      Fig. 1 multi-method
 tcp          :class:`TcpChannel`              Fig. 1 TCP baseline
 adaptive     :class:`AdaptiveChannel`         runtime-tuned (repro.tune)
+srq          :class:`SrqChannel`              shared receive pool (SRQ)
+mux          :class:`MuxChannel`              srq + bounded QP pool
 =========== ================================ =========================
 
 Designs are selected by name through the registry/factory API::
@@ -35,6 +37,7 @@ from .multimethod import MultiMethodChannel
 from .piggyback import PiggybackChannel
 from .pipeline import PipelineChannel
 from .shm import ShmChannel
+from .srq import MuxChannel, SrqChannel, SrqConnection
 from .tcp import TcpChannel
 from .zerocopy import ZeroCopyChannel
 from .adaptive import AdaptiveChannel
@@ -47,5 +50,6 @@ __all__ = [
     "ShmChannel", "BasicChannel", "PiggybackChannel", "PipelineChannel",
     "ZeroCopyChannel", "MultiMethodChannel", "TcpChannel",
     "AdaptiveChannel",
+    "SrqChannel", "MuxChannel", "SrqConnection",
     "ChunkedChannel", "ChunkedConnection",
 ]

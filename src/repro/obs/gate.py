@@ -50,6 +50,14 @@ HIGHER_IS_BETTER = {
     "events_per_sec": True,
     "sim_bytes_per_sec": True,
     "wall_s": False,
+    # memory-footprint suite (BENCH_memscale.json): registered
+    # (pinned) bytes per rank, QPs created, and channel connections
+    # established for a given world — the quantities the srq/mux/
+    # lazy-connect designs exist to shrink.  All deterministic
+    # simulated counts; lower is better for each.
+    "pinned_bytes_per_rank": False,
+    "live_qps": False,
+    "connections": False,
 }
 
 

@@ -1,5 +1,5 @@
 """The acceptance gate for the analysis tooling: the linter plus the
-shadow sanitizer must catch at least 8 of the 10 canned protocol bugs
+shadow sanitizer must catch at least 8 of the 12 canned protocol bugs
 in ``repro/check/mutations.py`` — without ever invoking the
 differential oracle."""
 
@@ -27,9 +27,9 @@ def results(request):
 
 
 class TestCorpusCoverage:
-    def test_catches_at_least_eight_of_ten(self, results):
+    def test_catches_at_least_eight(self, results):
         caught = [r.name for r in results if r.caught]
-        assert len(results) == len(CATALOG) == 10
+        assert len(results) == len(CATALOG) == 12
         assert len(caught) >= 8, mutcheck.format_results(results)
 
     def test_static_prong_carries_the_shape_bugs(self, results):

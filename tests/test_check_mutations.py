@@ -8,12 +8,12 @@ from repro.check import oracle
 
 def test_catalog_names_are_unique():
     names = [m.name for m in CATALOG]
-    assert len(names) == len(set(names)) == 10
+    assert len(names) == len(set(names)) == 12
 
 
 def test_smoke_detects_the_canned_bugs():
-    """The hard floor is 8/10 (ISSUE constraint); the catalog is
-    currently tuned so all 10 are caught — if one regresses below the
+    """The hard floor is 8 (ISSUE constraint); the catalog is
+    currently tuned so all 12 are caught — if one regresses below the
     floor the harness has gone blind to a whole bug class."""
     results = run_smoke()
     detected = [r.name for r in results if r.detected]
@@ -60,3 +60,11 @@ def test_specific_detection_channels():
 
     obs, failures = run_one("ignore-credits")
     assert obs.hang and any("hang" in f for f in failures)
+
+    # the SRQ additions: a leaked credit starves the window (hang);
+    # an early slot recycle breaks the pool's WQE accounting (error)
+    obs, failures = run_one("srq-credit-leak")
+    assert obs.hang and any("hang" in f for f in failures)
+
+    obs, failures = run_one("srq-pool-write-race")
+    assert obs.error and any("run error" in f for f in failures)

@@ -37,7 +37,7 @@ class TestPositionalShim:
             cls.from_env(env={})
 
     def test_too_many_positionals_is_type_error(self):
-        nfields = 7  # ChannelConfig field count
+        nfields = 11  # ChannelConfig field count
         with pytest.warns(DeprecationWarning):
             with pytest.raises(TypeError, match="at most"):
                 ChannelConfig(*([1] * (nfields + 1)))

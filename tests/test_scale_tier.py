@@ -30,6 +30,7 @@ import numpy as np
 import pytest
 
 from repro.mpi import run_mpi_profiled
+from repro.mpi.runner import build_world
 
 pytestmark = [pytest.mark.slow, pytest.mark.scale]
 
@@ -127,3 +128,73 @@ def test_scale(workload, nranks):
     assert digests[0] == digests[1], (
         f"{workload}@{nranks} is nondeterministic across two "
         f"identically configured runs")
+
+
+# ---------------------------------------------------------------------
+# connection-scaling cells: the srq channel with on-demand connects
+# ---------------------------------------------------------------------
+
+#: the srq shared-pool channel with lazy connection establishment —
+#: the combination whose footprint is supposed to stay flat at scale
+SRQ_DESIGN = "srq-lazy"
+
+#: wall ceilings (seconds) for the srq cells, build + two runs each
+SRQ_WALL_CEILING_S = {
+    ("ring", 256): 60, ("ring", 512): 200,
+    ("allreduce", 256): 100, ("allreduce", 512): 400,
+}
+
+
+@pytest.mark.parametrize("nranks", [256, 512])
+@pytest.mark.parametrize("workload", ["allreduce", "ring"])
+def test_scale_srq(workload, nranks):
+    """Same digest-stability + wall-ceiling contract as the basic
+    cells, on the shared-pool channel with on-demand connections."""
+    prog = WORKLOADS[workload]
+    ceiling = SRQ_WALL_CEILING_S[(workload, nranks)]
+    digests = []
+    for attempt in range(2):
+        gc.collect()
+        t0 = time.perf_counter()
+        results, world = run_mpi_profiled(nranks, prog,
+                                          design=SRQ_DESIGN)
+        wall = time.perf_counter() - t0
+        _expected(workload, nranks, results)
+        digests.append(_fingerprint(results, world))
+        del results, world
+        assert wall < ceiling, (
+            f"srq {workload}@{nranks} run {attempt} took {wall:.1f}s "
+            f"(ceiling {ceiling}s)")
+    assert digests[0] == digests[1], (
+        f"srq {workload}@{nranks} is nondeterministic across two "
+        f"identically configured runs")
+
+
+def test_scale_srq_pinned_bytes_per_rank_flat():
+    """Doubling the world must not grow the per-rank pinned footprint
+    of the lazy srq ring (within 2x: each rank still talks to exactly
+    two neighbours) — while the eager all-to-all baseline's per-rank
+    footprint keeps growing with the world (~linearly; >= 1.5x here)."""
+    ppr = {}
+    for nranks in (256, 512):
+        gc.collect()
+        results, world = run_mpi_profiled(nranks, WORKLOADS["ring"],
+                                          design=SRQ_DESIGN)
+        _expected("ring", nranks, results)
+        assert world.connection_count() == nranks  # O(N), not O(N^2)
+        ppr[nranks] = world.cluster.pinned_bytes() / nranks
+        del results, world
+    assert ppr[512] <= 2 * ppr[256], (
+        f"srq-lazy pinned/rank grew {ppr[512] / ppr[256]:.2f}x "
+        f"from 256 to 512 ranks")
+
+    baseline = {}
+    for nranks in (256, 512):
+        gc.collect()
+        world = build_world(nranks, "basic")
+        baseline[nranks] = world.cluster.pinned_bytes() / nranks
+        del world
+    assert baseline[512] >= 1.5 * baseline[256], (
+        "the eager mesh baseline stopped growing — the contrast this "
+        "cell documents no longer holds")
+    assert ppr[512] * 8 <= baseline[512]
