@@ -1,0 +1,18 @@
+"""Explicit-state model checking of the transcribed protocol
+machines (ISSUE 10): the checker core, the four protocol models, and
+the message-sequence-chart counterexample renderer."""
+
+from .checker import (CheckResult, Model, SearchBudgetExceeded, Step,
+                      Violation, check)
+from .machines import (MODELS, LazyConnectModel, MuxPoolModel,
+                       RendezvousModel, SrqCreditModel, build_model,
+                       config_for_mutation, default_configs)
+from .msc import format_counterexample, format_msc
+
+__all__ = [
+    "Model", "Step", "Violation", "CheckResult", "check",
+    "SearchBudgetExceeded",
+    "SrqCreditModel", "LazyConnectModel", "MuxPoolModel",
+    "RendezvousModel", "MODELS", "build_model", "default_configs",
+    "config_for_mutation", "format_msc", "format_counterexample",
+]

@@ -1,0 +1,272 @@
+"""Explicit-state bounded model checking for the protocol machines.
+
+A :class:`Model` is a hand-transcribed protocol state machine: an
+initial state (any hashable value, conventionally a tuple), a
+``steps(state)`` successor function enumerating every enabled
+transition as :class:`Step` objects, a safety ``invariant(state)``,
+and an ``is_done(state)`` predicate marking acceptable quiescence.
+
+:func:`check` explores the *full* reachable state graph of the model
+with breadth-first search (so the first bad state found lies at
+minimal depth and its counterexample trace is shortest) and reports:
+
+``deadlock``
+    a reachable state with pending work (``not is_done``) and no
+    enabled transition — including lost wakeups, which present as a
+    lane blocked on a signal nobody will ever raise;
+``invariant``
+    a reachable state where ``invariant`` returns a complaint
+    (credit-conservation and slot-accounting violations live here);
+``livelock``
+    a reachable state from which *no* done state is reachable but
+    transitions remain enabled — in a finite graph such a state can
+    only cycle forever without progress.  Found by backward
+    reachability from the done states over the full explored graph.
+
+Partial-order reduction
+-----------------------
+A step tagged ``local=True`` promises to be *independent* of every
+other enabled step (it commutes with them and neither disables nor is
+disabled by them) and *invisible* (it cannot change the verdict of
+``invariant``/``is_done``/``blocked``).  When such a step leads to an
+unvisited state the checker expands it **alone** — a singleton ample
+set.  The unvisited-target condition is the cycle proviso: a local
+step that would close a loop falls back to full expansion, so no
+transition is postponed forever.  Correctness is cross-checked by the
+tests, which run every model and mutation with reduction on and off
+and require identical verdicts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (Any, Dict, Iterator, List, Mapping, Optional, Set,
+                    Tuple)
+
+__all__ = ["Model", "Step", "Violation", "CheckResult", "check",
+           "SearchBudgetExceeded"]
+
+#: model states are opaque hashable values (conventionally tuples)
+State = Any
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The reachable graph outgrew ``max_states`` — the bounds are
+    not small enough for exhaustive exploration."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """One enabled transition out of a state.
+
+    ``lane`` is the acting protocol participant (a member of the
+    model's ``lanes``); ``msg`` — when the step puts a message on an
+    arrow of the sequence chart — is ``(src_lane, dst_lane, text)``.
+    """
+
+    label: str
+    lane: str
+    msg: Optional[Tuple[str, str, str]] = None
+    local: bool = False
+
+
+@dataclass
+class Violation:
+    """A property violation plus its minimal counterexample."""
+
+    kind: str                 # "deadlock" | "livelock" | "invariant"
+    message: str
+    trace: List[Step]         # shortest path from the initial state
+    state: State
+
+    def summary(self) -> str:
+        return (f"{self.kind}: {self.message} "
+                f"(counterexample: {len(self.trace)} step(s))")
+
+
+@dataclass
+class CheckResult:
+    """Outcome of exhaustively checking one model configuration."""
+
+    model: str
+    mutation: Optional[str]
+    states: int
+    transitions: int
+    violation: Optional[Violation] = None
+    lanes: Tuple[str, ...] = ()
+    final_states: List[State] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def label(self) -> str:
+        mut = f"[{self.mutation}]" if self.mutation else ""
+        return f"{self.model}{mut}"
+
+    def format(self) -> str:
+        verdict = ("PASS" if self.violation is None
+                   else f"FAIL ({self.violation.summary()})")
+        return (f"{self.label():<40} {self.states:>6} states "
+                f"{self.transitions:>7} transitions  {verdict}")
+
+
+class Model:
+    """Base class for transcribed protocol state machines."""
+
+    #: registry name of the model
+    name: str = ""
+    #: sequence-chart lanes, in column order
+    lanes: Tuple[str, ...] = ()
+    #: mutation name -> description of the seeded bug variant
+    mutations: Mapping[str, str] = {}
+
+    def __init__(self, mutation: Optional[str] = None) -> None:
+        if mutation is not None and mutation not in self.mutations:
+            raise ValueError(
+                f"model {self.name!r} has no mutation {mutation!r}; "
+                f"known: {sorted(self.mutations)}")
+        self.mutation = mutation
+
+    # -- the transcription ---------------------------------------------
+    def initial(self) -> State:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def steps(self, state: State
+              ) -> Iterator[Tuple[Step, State]]:  # pragma: no cover
+        raise NotImplementedError
+        yield
+
+    def invariant(self, state: State) -> Optional[str]:
+        """Return a complaint string when ``state`` is unsafe."""
+        return None
+
+    def is_done(self, state: State) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- diagnosis hooks -----------------------------------------------
+    def blocked(self, state: State) -> Mapping[str, str]:
+        """lane -> why it can make no progress (deadlock naming)."""
+        return {}
+
+    def describe(self, state: State) -> str:
+        return repr(state)
+
+
+def _trace_to(state: State,
+              parents: Dict[State, Optional[Tuple[State, Step]]]
+              ) -> List[Step]:
+    steps: List[Step] = []
+    cur: State = state
+    while True:
+        link = parents[cur]
+        if link is None:
+            break
+        cur, step = link
+        steps.append(step)
+    steps.reverse()
+    return steps
+
+
+def _deadlock_violation(model: Model, state: State,
+                        parents: Dict[State,
+                                      Optional[Tuple[State, Step]]]
+                        ) -> Violation:
+    why = model.blocked(state)
+    if why:
+        detail = "; ".join(f"{lane}: {reason}"
+                           for lane, reason in sorted(why.items()))
+    else:
+        detail = model.describe(state)
+    return Violation(
+        kind="deadlock",
+        message=f"no enabled transition with pending work — {detail}",
+        trace=_trace_to(state, parents),
+        state=state)
+
+
+def check(model: Model, max_states: int = 500_000,
+          por: bool = True) -> CheckResult:
+    """Exhaustively explore ``model`` and report the first violation
+    (at minimal depth) or a clean pass with state/transition counts."""
+    init = model.initial()
+    parents: Dict[State, Optional[Tuple[State, Step]]] = {init: None}
+    succs: Dict[State, List[Tuple[Step, State]]] = {}
+    result = CheckResult(model=model.name, mutation=model.mutation,
+                         states=0, transitions=0, lanes=model.lanes)
+
+    complaint = model.invariant(init)
+    if complaint is not None:
+        result.states = 1
+        result.violation = Violation("invariant", complaint, [], init)
+        return result
+
+    queue: "deque[State]" = deque([init])
+    ntrans = 0
+    while queue:
+        state = queue.popleft()
+        enabled = list(model.steps(state))
+        if por and len(enabled) > 1:
+            for step, nxt in enabled:
+                if step.local and nxt not in parents:
+                    # singleton ample set; unvisited target = the
+                    # cycle proviso (never postpone around a loop)
+                    enabled = [(step, nxt)]
+                    break
+        succs[state] = enabled
+        ntrans += len(enabled)
+        if not enabled and not model.is_done(state):
+            result.states = len(parents)
+            result.transitions = ntrans
+            result.violation = _deadlock_violation(model, state,
+                                                   parents)
+            return result
+        for step, nxt in enabled:
+            if nxt in parents:
+                continue
+            parents[nxt] = (state, step)
+            if len(parents) > max_states:
+                raise SearchBudgetExceeded(
+                    f"{model.name}: more than {max_states} reachable "
+                    "states — shrink the configuration bounds")
+            complaint = model.invariant(nxt)
+            if complaint is not None:
+                result.states = len(parents)
+                result.transitions = ntrans
+                result.violation = Violation(
+                    "invariant", complaint,
+                    _trace_to(nxt, parents), nxt)
+                return result
+            queue.append(nxt)
+
+    result.states = len(parents)
+    result.transitions = ntrans
+
+    # livelock: backward reachability from the done states.  Any
+    # explored state that cannot reach one can only cycle forever
+    # (finite graph, and deadlocks returned above).
+    done = [s for s in parents if model.is_done(s)]
+    result.final_states = done
+    reverse: Dict[State, List[State]] = {}
+    for state, enabled in succs.items():
+        for _step, nxt in enabled:
+            reverse.setdefault(nxt, []).append(state)
+    can_finish: Set[State] = set(done)
+    stack: List[State] = list(done)
+    while stack:
+        state = stack.pop()
+        for pred in reverse.get(state, ()):
+            if pred not in can_finish:
+                can_finish.add(pred)
+                stack.append(pred)
+    if len(can_finish) != len(parents):
+        # parents preserves BFS insertion order: the first stuck
+        # state found is at minimal depth
+        stuck = next(s for s in parents if s not in can_finish)
+        result.violation = Violation(
+            "livelock",
+            "state can never reach completion — every continuation "
+            f"cycles without progress ({model.describe(stuck)})",
+            _trace_to(stuck, parents), stuck)
+    return result

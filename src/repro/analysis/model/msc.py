@@ -1,0 +1,109 @@
+"""Message-sequence-chart rendering for counterexample traces.
+
+A trace is a list of :class:`~repro.analysis.model.checker.Step`
+objects; each model declares its ``lanes`` in column order.  The chart
+gives every lane a column, draws message-bearing steps as arrows
+between the source and destination columns, and prints local actions
+as bracketed labels in the acting lane's column::
+
+    sender                 receiver
+      |                       |
+      |------- m0 ----------->|
+      |                       | [consume m0 +credit]
+      |<----- credit=1 -------|
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .checker import Step, Violation
+
+__all__ = ["format_msc", "format_counterexample"]
+
+_COL_WIDTH = 24
+
+
+def _center(text: str, width: int) -> str:
+    return text[:width].center(width)
+
+
+def format_msc(lanes: Sequence[str], steps: Sequence[Step]) -> str:
+    """Render ``steps`` as a fixed-column ASCII sequence chart."""
+    if not lanes:
+        return "\n".join(f"  {s.label}" for s in steps)
+    index = {lane: i for i, lane in enumerate(lanes)}
+    ncols = len(lanes)
+    width = _COL_WIDTH
+
+    lines: List[str] = []
+    lines.append("".join(_center(lane, width) for lane in lanes))
+    spine = "".join(_center("|", width) for _ in lanes)
+    lines.append(spine)
+
+    for step in steps:
+        if step.msg is not None:
+            src, dst, text = step.msg
+            a, b = index.get(src), index.get(dst)
+            if a is not None and b is not None and a != b:
+                lo, hi = (a, b) if a < b else (b, a)
+                # lane spines sit at index (width-1)//2 of each
+                # column; the arrow fills the gap between the two
+                # spine characters exactly
+                pivot = (width - 1) // 2
+                gap = (hi - lo) * width - 1
+                body = f" {text} "
+                pad = gap - 1 - len(body)
+                if pad < 0:
+                    body = body[:gap - 1]
+                    pad = 0
+                left = pad // 2
+                right = pad - left
+                if a < b:
+                    arrow = ("-" * left) + body + ("-" * right) + ">"
+                else:
+                    arrow = "<" + ("-" * left) + body + ("-" * right)
+                row = []
+                for col in range(ncols):
+                    if col < lo or col > hi:
+                        row.append(_center("|", width))
+                    elif col == lo:
+                        take = width - pivot - 1
+                        row.append(" " * pivot + "|" + arrow[:take])
+                        arrow = arrow[take:]
+                    elif col < hi:
+                        row.append(arrow[:width])
+                        arrow = arrow[width:]
+                    else:
+                        row.append(arrow + "|"
+                                   + " " * (width - len(arrow) - 1))
+                lines.append("".join(row))
+                lines.append(spine)
+                continue
+        # local action (or a message between unknown lanes): a label
+        # in the acting lane's column
+        col = index.get(step.lane, 0)
+        row = []
+        for c in range(ncols):
+            if c == col:
+                row.append(_center(f"[{step.label}]", width))
+            else:
+                row.append(_center("|", width))
+        lines.append("".join(row))
+        lines.append(spine)
+    return "\n".join(lines)
+
+
+def format_counterexample(lanes: Sequence[str],
+                          violation: Violation) -> str:
+    """The full human-readable counterexample: verdict, numbered
+    steps, and the sequence chart."""
+    out: List[str] = []
+    out.append(f"violation: {violation.kind}")
+    out.append(f"  {violation.message}")
+    out.append(f"trace ({len(violation.trace)} step(s)):")
+    for i, step in enumerate(violation.trace, 1):
+        out.append(f"  {i:3d}. [{step.lane}] {step.label}")
+    out.append("")
+    out.append(format_msc(lanes, violation.trace))
+    return "\n".join(out)

@@ -9,13 +9,19 @@ bugs **without ever executing the oracle**:
   corpus with :func:`ast.get_source_segment` and lint it as if it
   lived in a ring channel module; a finding means the linter would
   have flagged the bug at review time;
-* **dynamic prong** — for mutations the linter cannot see (the bug is
-  in the *runtime interleaving*, not the source shape), apply the
-  monkey-patch, run the mutation's own tailored spec with the shadow
-  fabric installed (``REPRO_SHADOW=1``), and look for a
-  :class:`~repro.analysis.shadow.ShadowViolation` in the outcome.
+* **model prong** — mutations transcribed into the protocol state
+  machines (:mod:`repro.analysis.model`) are checked by exhaustive
+  small-config exploration: the checker demonstrates the bug as a
+  minimal counterexample trace, with no simulation run at all;
+* **dynamic prong** — for mutations the first two prongs cannot see
+  (the bug is in the *runtime interleaving*, not the source shape),
+  apply the monkey-patch, run the mutation's own tailored spec with
+  the shadow fabric installed (``REPRO_SHADOW=1``), and look for a
+  :class:`~repro.analysis.shadow.ShadowViolation` — or a
+  ``DeadlockError`` from the wait-for-graph detector
+  (:mod:`repro.obs.waitgraph`) — in the outcome.
 
-``oracle.check`` is never called — the point is that these two cheap
+``oracle.check`` is never called — the point is that these cheap
 prongs stand on their own (`corrupt-payload`, a pure data-value bug
 with no protocol-shape signature, is the expected escape; it needs
 the full differential diff).
@@ -32,7 +38,21 @@ from typing import Any, List, Optional
 from .core import Finding, lint_source
 
 __all__ = ["MutationCheck", "check_mutations", "format_results",
-           "run_under_shadow"]
+           "run_under_shadow", "run_model_check", "MODEL_MAP"]
+
+#: runtime mutation name -> (model name, model mutation name): the
+#: transcription of each catalogued bug into the protocol machines of
+#: :mod:`repro.analysis.model.machines`.
+MODEL_MAP = {
+    "srq-credit-leak": ("srq-credit", "credit-leak"),
+    "srq-replenish-off-by-one": ("srq-credit",
+                                 "replenish-off-by-one"),
+    "srq-pool-write-race": ("srq-credit", "pool-early-recycle"),
+    "lazy-drop-rep": ("lazy-connect", "drop-rep-no-retry"),
+    "lazy-lost-wakeup": ("lazy-connect", "lost-wakeup"),
+    "early-deregister": ("rendezvous", "dereg-after-rts"),
+    "ack-before-read": ("rendezvous", "ack-before-read"),
+}
 
 #: synthetic path for the extracted factory source: inside ``mpich2/``
 #: (contract rules in scope), filename mentions ``ring`` (chunk-layout
@@ -49,6 +69,13 @@ class MutationCheck:
     shadow_kinds: List[str] = field(default_factory=list)
     shadow_error: Optional[str] = None
     dynamic_ran: bool = False
+    #: model-checker result for the transcribed mutation (a
+    #: ``CheckResult`` whose violation is the counterexample), or
+    #: None when the mutation has no model transcription
+    model_result: Optional[Any] = None
+    #: the runtime DeadlockError diagnosis, when the wait-for-graph
+    #: detector converted the mutation's hang
+    deadlock_error: Optional[str] = None
 
     @property
     def caught_static(self) -> bool:
@@ -56,11 +83,17 @@ class MutationCheck:
 
     @property
     def caught_dynamic(self) -> bool:
-        return bool(self.shadow_kinds)
+        return bool(self.shadow_kinds) or self.deadlock_error is not None
+
+    @property
+    def caught_model(self) -> bool:
+        return (self.model_result is not None
+                and self.model_result.violation is not None)
 
     @property
     def caught(self) -> bool:
-        return self.caught_static or self.caught_dynamic
+        return (self.caught_static or self.caught_model
+                or self.caught_dynamic)
 
 
 def _factory_source(mutations_path: Path, func_name: str) -> str:
@@ -104,7 +137,23 @@ def run_under_shadow(mut: Any) -> MutationCheck:
         result.shadow_error = obs.error
         if not result.shadow_kinds:  # pragma: no cover - belt and braces
             result.shadow_kinds = ["unknown"]
+    if obs.error is not None and "DeadlockError" in obs.error:
+        result.deadlock_error = obs.error
     return result
+
+
+def run_model_check(mut_name: str) -> Optional[Any]:
+    """Check ``mut_name``'s transcription in the protocol machines;
+    returns the ``CheckResult`` (violation = the counterexample) or
+    None when the mutation has no model transcription."""
+    entry = MODEL_MAP.get(mut_name)
+    if entry is None:
+        return None
+    from .model import build_model, check, config_for_mutation
+
+    model_name, model_mut = entry
+    cfg = config_for_mutation(model_name, model_mut)
+    return check(build_model(model_name, mutation=model_mut, **cfg))
 
 
 def check_mutations(catalog: Any = None, dynamic: bool = True,
@@ -126,9 +175,15 @@ def check_mutations(catalog: Any = None, dynamic: bool = True,
         check = MutationCheck(name=mut.name)
         check.static_findings = _lint_factory(mutations_path,
                                               mut.apply.__name__)
-        if dynamic and not check.caught_static:
+        if not check.caught_static:
+            # the model prong is nearly free (exhaustive exploration
+            # of a few hundred states), so it always runs next
+            check.model_result = run_model_check(mut.name)
+        if dynamic and not check.caught:
+            model_result = check.model_result
             check = run_under_shadow(mut)
             check.static_findings = []
+            check.model_result = model_result
         results.append(check)
     return results
 
@@ -140,9 +195,17 @@ def format_results(results: List[MutationCheck]) -> str:
         if r.caught_static:
             how = ", ".join(sorted({f.rule for f in r.static_findings}))
             verdict = f"CAUGHT (lint: {how})"
-        elif r.caught_dynamic:
+        elif r.caught_model:
+            mr = r.model_result
+            verdict = (f"CAUGHT (model: {mr.label()} "
+                       f"{mr.violation.kind}, "
+                       f"{len(mr.violation.trace)}-step trace)")
+        elif r.shadow_kinds:
             how = ", ".join(sorted(set(r.shadow_kinds)))
             verdict = f"CAUGHT (shadow: {how})"
+        elif r.deadlock_error is not None:
+            first = r.deadlock_error.split("\n", 1)[0]
+            verdict = f"CAUGHT (deadlock: {first})"
         elif r.dynamic_ran:
             verdict = "escaped (both prongs)"
         else:

@@ -24,6 +24,7 @@ ALL_RULE_CLASSES: Sequence[Type[Rule]] = (
     contracts.HeaderIdentityArithRule,
     hygiene.PositionalConfigRule,
     hygiene.UnpairedGaugeRule,
+    hygiene.FalsyOrDefaultRule,
 )
 
 

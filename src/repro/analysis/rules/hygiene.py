@@ -4,7 +4,11 @@
   construction only works through a shim that will be removed;
 * observability gauges track a level, so every ``.add()`` stream on a
   gauge must contain a decrement (or use ``.set()``) — an
-  increment-only gauge is either a leak or should be a counter.
+  increment-only gauge is either a leak or should be a counter;
+* ``x = a or default`` silently swaps in the default for *every*
+  falsy ``a`` — empty list, empty dict, ``0``, ``""`` — not just
+  ``None``; protocol state regularly passes through legitimately
+  empty/zero values, so default-filling must test ``is None``.
 """
 
 from __future__ import annotations
@@ -14,7 +18,8 @@ from typing import Dict, Iterator, List, Set
 
 from ..core import Finding, ModuleInfo, Rule
 
-__all__ = ["PositionalConfigRule", "UnpairedGaugeRule"]
+__all__ = ["FalsyOrDefaultRule", "PositionalConfigRule",
+           "UnpairedGaugeRule"]
 
 
 class PositionalConfigRule(Rule):
@@ -87,6 +92,62 @@ class UnpairedGaugeRule(Rule):
                     f"gauge '{attr}' is only ever incremented in this "
                     "module — pair with a decrement/.set() or use a "
                     "counter")
+
+
+class FalsyOrDefaultRule(Rule):
+    """``x = a or default`` conflates every falsy value of ``a`` with
+    "missing": an empty chunk list, a zero credit count, or an empty
+    payload all get silently replaced by the default.  Use an explicit
+    ``if a is None`` (or ``x = default if a is None else a``) so only
+    genuine absence triggers the fallback."""
+
+    id = "falsy-or-default"
+    description = ("`a or default` used as a value — every falsy `a` "
+                   "(empty container, 0, \"\") takes the default")
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        boolean = _boolean_contexts(mod.tree)
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.BoolOp)
+                    and isinstance(node.op, ast.Or)
+                    and id(node) not in boolean):
+                continue
+            first = node.values[0]
+            if not isinstance(first, (ast.Name, ast.Attribute)):
+                continue
+            name = mod.segment(first) or "<expr>"
+            yield self.finding(
+                mod, node,
+                f"'{name} or ...' used as a value: every falsy "
+                f"{name} (empty container, 0, \"\") silently takes "
+                "the default — test 'is None' instead")
+
+
+def _boolean_contexts(tree: ast.AST) -> Set[int]:
+    """ids of BoolOp nodes used purely as conditions (``if``/``while``
+    tests, comprehension filters, ``assert``, under ``not``) — there
+    the or-chain is genuinely boolean and falsy-collapse is intended."""
+    roots: List[ast.expr] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            roots.append(node.test)
+        elif isinstance(node, ast.Assert):
+            roots.append(node.test)
+        elif isinstance(node, ast.comprehension):
+            roots.extend(node.ifs)
+        elif (isinstance(node, ast.UnaryOp)
+                and isinstance(node.op, ast.Not)):
+            roots.append(node.operand)
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("bool", "any", "all")):
+            roots.extend(node.args)
+    marked: Set[int] = set()
+    for root in roots:
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.BoolOp):
+                marked.add(id(sub))
+    return marked
 
 
 def _is_negative(expr: ast.expr) -> bool:

@@ -24,7 +24,14 @@ From that it detects, at the moment of the offending operation:
     timestamp with no QP-ordering edge between them;
 ``read-before-write``
     a ring receiver consumes a chunk whose bytes were never placed by
-    the fabric (torn/forged chunk — §4.3's trailer guard bypassed).
+    the fabric (torn/forged chunk — §4.3's trailer guard bypassed);
+``srq-early-recycle`` / ``srq-double-post``
+    SRQ pool-slot lifecycle races: a receive slot reposted to the
+    pool while it still holds an unread message (the next inbound
+    SEND would overwrite data the receiver has not copied out), or
+    posted twice without an intervening consume.  Tracked per slot
+    with a recycle epoch — post must follow release, consume must
+    follow post.
 
 Hooks are plain function calls (never ``yield``), so enabling the
 sanitizer cannot change simulated time or event order: a clean run is
@@ -103,6 +110,9 @@ class ShadowFabric:
             cluster.sim if cluster is not None else None)
         self.violations: List[ShadowViolation] = []
         self._nodes: Dict[int, _NodeShadow] = {}
+        #: SRQ slot lifecycle: (node_id, srq name) -> slot addr ->
+        #: [state, recycle_epoch] with state in posted/filled/released
+        self._srq: Dict[Tuple[int, str], Dict[int, List[Any]]] = {}
         if cluster is not None:
             for node in cluster.nodes:
                 self._nodes[node.hca.node_id] = _NodeShadow(
@@ -210,6 +220,66 @@ class ShadowFabric:
                 f"ring consume of [{addr:#x},+{nbytes}) on node "
                 f"{hca.node_id} reads byte {first:#x} never placed by "
                 "the fabric (torn or forged chunk)")
+
+    # -- SRQ pool-slot lifecycle (called from SharedReceiveQueue and
+    #    the srq/mux channels) --------------------------------------------
+    def _srq_slots(self, srq: Any) -> Dict[int, List[Any]]:
+        key = (srq.hca.node_id, srq.name)
+        slots = self._srq.get(key)
+        if slots is None:
+            slots = self._srq[key] = {}
+        return slots
+
+    def on_srq_post(self, srq: Any, rr: Any) -> None:
+        """A receive WQE enters the pool.  Legal only when its slot
+        is fresh or has been released by the consumer's copy-out."""
+        addr = rr.sges[0].addr
+        slots = self._srq_slots(srq)
+        entry = slots.get(addr)
+        if entry is None:
+            slots[addr] = ["posted", 0]
+            return
+        state, epoch = entry
+        if state == "filled":
+            self._violate(
+                "srq-early-recycle",
+                f"SRQ {srq.name} slot {addr:#x} reposted at "
+                f"t={self._now():.9f} (recycle epoch {epoch}) while "
+                "it still holds an unread message — the next inbound "
+                "SEND would overwrite data the receiver has not "
+                "copied out")
+            return
+        if state == "posted":
+            self._violate(
+                "srq-double-post",
+                f"SRQ {srq.name} slot {addr:#x} posted twice with no "
+                f"intervening consume (recycle epoch {epoch}) at "
+                f"t={self._now():.9f}")
+            return
+        entry[0] = "posted"
+
+    def on_srq_consume(self, srq: Any, rr: Any) -> None:
+        """An inbound SEND claimed the WQE: the slot now holds a
+        message until the channel releases it after copy-out."""
+        addr = rr.sges[0].addr
+        slots = self._srq_slots(srq)
+        entry = slots.get(addr)
+        if entry is None:
+            # pool filled before the shadow attached; adopt the slot
+            slots[addr] = ["filled", 0]
+            return
+        entry[0] = "filled"
+
+    def on_srq_release(self, srq: Any, addr: int) -> None:
+        """The consumer finished copying the slot out: recycling it
+        back into the pool is legal again."""
+        slots = self._srq_slots(srq)
+        entry = slots.get(addr)
+        if entry is None:
+            slots[addr] = ["released", 1]
+            return
+        entry[0] = "released"
+        entry[1] += 1
 
     # -- reporting -----------------------------------------------------
     def report(self) -> str:

@@ -7,7 +7,7 @@ Examples::
     python -m repro.check fuzz --budget 50 --time-budget 60 \\
         --perturb 2 --faults --out replays/       # CI smoke slice
     python -m repro.check replay replays/fail-7.json
-    python -m repro.check mutate --expect 8       # harness self-test
+    python -m repro.check mutate --expect 12      # harness self-test
     python -m repro.check golden --write tests/corpus
 """
 
@@ -198,7 +198,7 @@ def main(argv=None) -> int:
     p = sub.add_parser("mutate",
                        help="mutation-testing smoke (harness "
                             "self-test)")
-    p.add_argument("--expect", type=int, default=8,
+    p.add_argument("--expect", type=int, default=12,
                    help="minimum mutations that must be caught")
     p.set_defaults(fn=cmd_mutate)
 

@@ -27,6 +27,7 @@ from ..config import ChannelConfig
 from ..faults import FaultPlan
 from ..mpi.runner import DESIGNS, build_world
 from ..mpi.status import ANY_SOURCE, ANY_TAG
+from ..obs.waitgraph import DeadlockDetector
 from . import oracle
 from .spec import (CollectivePhase, ComputePhase, DatatypePhase,
                    OneSidedPhase, P2PPhase, WorkloadSpec)
@@ -313,6 +314,11 @@ def run_spec(spec: WorkloadSpec, design: str,
               else ChannelConfig())
     world = build_world(spec.nranks, design, ch_cfg=ch_cfg,
                         faults=faults, tie_seed=tie_seed)
+    # upgrade the world's deadlock diagnosis with the message tracer:
+    # vector clocks + last-causal-message per wait-for edge.  The
+    # tracer wrappers are pure bookkeeping (no yields), so the check
+    # harness's schedules are unchanged.
+    DeadlockDetector.attach(world, with_tracer=True)
     records = [[] for _ in range(spec.nranks)]
     violations: List[str] = []
     done = [False] * spec.nranks
@@ -324,7 +330,9 @@ def run_spec(spec: WorkloadSpec, design: str,
     try:
         world.cluster.run(spec.time_cap if until is None else until)
     except Exception as exc:  # DeadlockError, crashed rank, ...
-        cause = exc.__cause__ or exc.__context__
+        cause = exc.__cause__
+        if cause is None:
+            cause = exc.__context__
         obs.error = f"{type(exc).__name__}: {exc}"
         if cause is not None:
             obs.error += f" (from {type(cause).__name__}: {cause})"

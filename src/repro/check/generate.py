@@ -36,7 +36,7 @@ _CHUNK_OVERHEAD = 17  # HDR_SIZE + TRAILER_SIZE (ring.py)
 
 def boundary_sizes(ch_cfg: Optional[dict]) -> List[int]:
     """Interesting payload sizes for a channel geometry."""
-    cfg = ch_cfg or {}
+    cfg = {} if ch_cfg is None else ch_cfg
     chunk = cfg.get("chunk_size", 16 * KB)
     ring = cfg.get("ring_size", 128 * KB)
     zc = cfg.get("zerocopy_threshold", 32 * KB)

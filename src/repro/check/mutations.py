@@ -111,6 +111,20 @@ def _srq_spec(n: int = 6, size: int = 500) -> WorkloadSpec:
                         ch_cfg=dict(_SRQ_CFG), time_cap=0.2)
 
 
+def _lazy_spec(bidir: bool = False) -> WorkloadSpec:
+    """On-demand establishment traffic.  ``bidir`` puts a message in
+    each direction in the same phase, so both ranks race to connect
+    the same pair and one of them *coalesces* on the pair event — the
+    geometry the lost-wakeup mutation needs."""
+    msgs = [P2PMessage(src=0, dst=1, tag=0, size=500)]
+    if bidir:
+        msgs.append(P2PMessage(src=1, dst=0, tag=1, size=500))
+    return WorkloadSpec(seed=0, nranks=2,
+                        phases=(P2PPhase(messages=tuple(msgs),
+                                         blocking=True),),
+                        ch_cfg=dict(_SRQ_CFG), time_cap=0.2)
+
+
 def _permuted_spec() -> WorkloadSpec:
     """Receives posted in reverse of the send order, same source and
     distinct tags: correct matching must skip the first posted slot;
@@ -319,6 +333,70 @@ def _mut_srq_pool_write_race():
     return _patch(srq_chan._RecvPool, "drain", bad)
 
 
+def _mut_srq_replenish_off_by_one():
+    """Replenish condition off by one: fire only when the unreported
+    consumption *exceeds the whole window*.  The gap can never exceed
+    the window (the sender stalls first), so the explicit credit is
+    never written and a one-way stream starves permanently."""
+    from ..mpich2.channels import srq as srq_chan
+
+    def bad(self, conn):
+        return (conn.consumed_msgs - conn.last_credit_sent
+                > self.ch_cfg.srq_credits)
+
+    return _patch(srq_chan.SrqChannel, "_credit_due", bad)
+
+
+def _mut_lazy_drop_rep():
+    """Drop the REP leg of the on-demand handshake and give the
+    initiator no REP-leg timer: it blocks in connect() forever
+    (the model's ``lazy-connect[drop-rep-no-retry]``)."""
+    from ..mpich2 import connect as lazy
+
+    def bad(self, src, dest):
+        sim, cfg = self.sim, self.cfg
+        na = self.channels[src].node.node_id
+        nb = self.channels[dest].node.node_id
+        one_way = cfg.wire_latency + cfg.pci_latency
+        # REQ leg arrives at the peer...
+        yield sim.timeout(self.cluster.fabric.latency(na, nb)
+                          + one_way)
+        # ...but the REP is dropped and no retry timer was armed
+        yield sim.event()
+
+    return _patch(lazy.LazyConnector, "_handshake", bad)
+
+
+def _mut_lazy_lost_wakeup():
+    """The established handshake forgets to signal the pair event:
+    any rank that coalesced on a concurrent connect sleeps forever
+    (the model's ``lazy-connect[lost-wakeup]``)."""
+    from ..mpich2 import connect as lazy
+    from ..mpich2.adi3 import MpiError
+
+    def bad(self, src, dest):
+        key = (src, dest) if src < dest else (dest, src)
+        state = self._pairs.get(key)
+        while state is not None and state is not True:
+            yield state
+            state = self._pairs.get(key)
+        if state is True:
+            return
+        ev = self.sim.event()
+        self._pairs[key] = ev
+        try:
+            yield from self._handshake(src, dest)
+            self._establish(key)
+        except MpiError:
+            del self._pairs[key]
+            raise
+        self._pairs[key] = True
+        self.connects += 1
+        # bug: ev.succeed(None) forgotten — waiters never wake
+
+    return _patch(lazy.LazyConnector, "connect", bad)
+
+
 CATALOG: List[Mutation] = [
     Mutation("header-before-payload",
              "chunk header posted without payload+trailer "
@@ -377,6 +455,21 @@ CATALOG: List[Mutation] = [
              "copy-out (arriving data can overwrite unread slots)",
              "srq", _srq_spec(),
              _mut_srq_pool_write_race),
+    Mutation("srq-replenish-off-by-one",
+             "explicit-credit threshold off by one: the replenish "
+             "never fires and the sender starves",
+             "srq", _srq_spec(),
+             _mut_srq_replenish_off_by_one),
+    Mutation("lazy-drop-rep",
+             "on-demand connect REP leg dropped with no retry timer "
+             "(initiator blocks in connect() forever)",
+             "srq-lazy", _lazy_spec(),
+             _mut_lazy_drop_rep),
+    Mutation("lazy-lost-wakeup",
+             "established handshake never signals the pair event "
+             "(coalesced connector sleeps forever)",
+             "srq-lazy", _lazy_spec(bidir=True),
+             _mut_lazy_lost_wakeup),
 ]
 
 

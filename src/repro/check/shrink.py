@@ -56,7 +56,7 @@ def shrink(spec: WorkloadSpec, design: str,
     """Greedy delta-debugging of one failing case.  ``prop`` returns
     the failure list of a candidate (empty == passes); the default
     re-runs the spec and checks it against the expected model."""
-    prop = prop or _default_property
+    prop = _default_property if prop is None else prop
     budget = [max_runs]
     state = {"spec": spec, "tie_seed": tie_seed, "plan": fault_plan,
              "failures": ["<unverified>"]}

@@ -67,7 +67,7 @@ class Cluster:
                  tie_seed: Optional[int] = None):
         if nnodes < 1:
             raise ValueError("need at least one node")
-        self.cfg = cfg or HardwareConfig()
+        self.cfg = HardwareConfig() if cfg is None else cfg
         #: ``tie_seed`` selects the engine's same-timestamp tie-break
         #: policy (None = insertion order, bit-for-bit the historical
         #: schedule; see :class:`repro.sim.engine.Simulator`).

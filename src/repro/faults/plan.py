@@ -122,11 +122,13 @@ class FaultPlan:
     def transport_enabled(self) -> bool:
         """Any link-level faults configured (switches the HCA onto the
         retransmitting RC path)."""
+        # lint: allow(falsy-or-default, boolean-valued result)
         return self.default_link.active or any(
             lf.active for lf in self.links.values())
 
     @property
     def enabled(self) -> bool:
+        # lint: allow(falsy-or-default, boolean-valued result)
         return (self.transport_enabled or bool(self.reg_failures)
                 or bool(self.wc_errors))
 
@@ -182,6 +184,7 @@ class FaultStats:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         nz = {k: v for k, v in self.__dict__.items() if v}
+        # lint: allow(falsy-or-default, empty dict renders as clean)
         return f"<FaultStats {nz or 'clean'}>"
 
 
@@ -198,7 +201,7 @@ class FaultState:
         if plan is not None and not isinstance(plan, FaultPlan):
             raise TypeError(
                 f"faults must be a FaultPlan, got {type(plan).__name__}")
-        self.plan = plan or FaultPlan()
+        self.plan = FaultPlan() if plan is None else plan
         self.stats = FaultStats()
         #: anything configured at all (guards the injection hooks).
         self.enabled = self.plan.enabled

@@ -932,6 +932,7 @@ class Hca:
 
     def create_cq(self, depth: int = 4096, name: str = "") -> CompletionQueue:
         return CompletionQueue(
+            # lint: allow(falsy-or-default, empty name = auto-name)
             self.sim, depth, name or f"cq[{self.node_id}]",
             metrics=self.mscope.scope(f"cq{next(self._cq_counter)}"))
 
@@ -949,8 +950,9 @@ class Hca:
         """Create a shared receive queue; pass it to :meth:`create_qp`
         via ``srq=`` to attach QPs."""
         self.stats.srqs_created += 1
-        return SharedReceiveQueue(self, max_wr,
-                                  name or f"srq[{self.node_id}]")
+        return SharedReceiveQueue(
+            # lint: allow(falsy-or-default, empty name = auto-name)
+            self, max_wr, name or f"srq[{self.node_id}]")
 
     def dma_route_to(self, remote: "Hca") -> List[Tuple[FluidResource, float]]:
         """Fluid route for payload DMA from this node's memory to

@@ -57,6 +57,7 @@ class SharedReceiveQueue:
             raise QPError("SRQ max_wr must be >= 1")
         self.hca = hca
         self.max_wr = max_wr
+        # lint: allow(falsy-or-default, empty name means auto-name)
         self.name = name or f"srq[{hca.node_id}]"
         self._pool: Store = Store(hca.sim, capacity=max_wr)
         self.posted_total = 0
@@ -92,6 +93,8 @@ class SharedReceiveQueue:
             raise QPError(f"SRQ {self.name} full at max_wr={self.max_wr}")
         self.posted_total += 1
         self._m_posted.inc()
+        if self.hca.shadow is not None:
+            self.hca.shadow.on_srq_post(self, rr)
 
     # -- HCA delivery side ----------------------------------------------
     def try_consume(self) -> Optional[RecvRequest]:
@@ -105,6 +108,8 @@ class SharedReceiveQueue:
             return None
         self.consumed_total += 1
         self._m_consumed.inc()
+        if self.hca.shadow is not None:
+            self.hca.shadow.on_srq_consume(self, rr)
         return rr
 
     def consume(self) -> Generator:
@@ -118,4 +123,6 @@ class SharedReceiveQueue:
             rr = yield self._pool.get()
         self.consumed_total += 1
         self._m_consumed.inc()
+        if self.hca.shadow is not None:
+            self.hca.shadow.on_srq_consume(self, rr)
         return rr

@@ -275,7 +275,9 @@ class Communicator:
             yield from self.device.progress(block=False)
         if req.done:
             req.check()
-            return True, Status(req.source or 0, req.tag or 0, req.count)
+            src = 0 if req.source is None else req.source
+            tag = 0 if req.tag is None else req.tag
+            return True, Status(src, tag, req.count)
         return False, None
 
     def Iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
@@ -349,19 +351,19 @@ class Communicator:
     def Reduce(self, sendbuf, recvbuf, op=None, root=0, dtype=np.float64):
         from . import collectives
         from .datatypes import SUM
-        return collectives.reduce(self, sendbuf, recvbuf, op or SUM,
+        return collectives.reduce(self, sendbuf, recvbuf, SUM if op is None else op,
                                   root, dtype)
 
     def Allreduce(self, sendbuf, recvbuf, op=None, dtype=np.float64):
         from . import collectives
         from .datatypes import SUM
-        return collectives.allreduce(self, sendbuf, recvbuf, op or SUM,
+        return collectives.allreduce(self, sendbuf, recvbuf, SUM if op is None else op,
                                      dtype)
 
     def allreduce(self, value, op=None):
         from . import collectives
         from .datatypes import SUM
-        return collectives.allreduce_obj(self, value, op or SUM)
+        return collectives.allreduce_obj(self, value, SUM if op is None else op)
 
     def Gather(self, sendbuf, recvbuf, root=0):
         from . import collectives
@@ -390,14 +392,14 @@ class Communicator:
     def Scan(self, sendbuf, recvbuf, op=None, dtype=np.float64):
         from . import collectives
         from .datatypes import SUM
-        return collectives.scan(self, sendbuf, recvbuf, op or SUM, dtype)
+        return collectives.scan(self, sendbuf, recvbuf, SUM if op is None else op, dtype)
 
     def Reduce_scatter(self, sendbuf, recvbuf, op=None,
                        dtype=np.float64):
         from . import collectives
         from .datatypes import SUM
         return collectives.reduce_scatter(self, sendbuf, recvbuf,
-                                          op or SUM, dtype)
+                                          SUM if op is None else op, dtype)
 
     def Gatherv(self, sendbuf, recvbuf, counts, displs=None, root=0):
         from . import collectives

@@ -165,12 +165,12 @@ def build_world(nranks: int, design: str = "zerocopy",
     if design not in DESIGNS:
         raise ValueError(f"unknown design {design!r}; pick from "
                          f"{DESIGNS}")
-    cfg = cfg or HardwareConfig()
-    ch_cfg = ch_cfg or ChannelConfig()
+    cfg = HardwareConfig() if cfg is None else cfg
+    ch_cfg = ChannelConfig() if ch_cfg is None else ch_cfg
 
     if design == "shm":
         nnodes = 1  # all ranks share one node's memory
-    nnodes = nnodes or nranks
+    nnodes = nranks if nnodes is None else nnodes
     if nnodes > nranks:
         nnodes = nranks
 
@@ -233,7 +233,14 @@ def build_world(nranks: int, design: str = "zerocopy",
             for dev in devices:
                 dev.connector = connector
                 connector.devices[dev.rank] = dev
-        return World(cluster, nranks, design, devices)
+        world = World(cluster, nranks, design, devices)
+        # arm deadlock diagnosis (graph + cycle naming).  Without the
+        # message tracer this costs nothing per event — the detector
+        # only runs after the queue has drained with blocked fibers —
+        # so schedules and digests stay bit-for-bit identical.
+        from ..obs.waitgraph import DeadlockDetector
+        DeadlockDetector.attach(world)
+        return world
 
 
 def run_mpi_profiled(nranks: int, prog: Callable, *,

@@ -304,6 +304,14 @@ class RdmaChannel(abc.ABC):
         default) keeps the unconditional per-sweep poll."""
         return None
 
+    def stall_edges(self) -> list:
+        """Wait-for edges this channel can currently explain:
+        ``(src_rank, dst_rank, reason)`` triples meaning "src_rank
+        cannot make progress until dst_rank acts".  Consulted by the
+        deadlock detector (:mod:`repro.obs.waitgraph`) only after the
+        event queue has drained — never on the hot path."""
+        return []
+
     def conn_to(self, peer_rank: int) -> Connection:
         try:
             return self.conns[peer_rank]

@@ -128,6 +128,20 @@ class ChunkedChannel(RdmaChannel):
         self._m_zc_bytes_read = m.counter("zc_bytes_read")
         self._m_credit_stalls = m.counter("credit_stalls")
 
+    def stall_edges(self) -> list:
+        """Post-mortem only: a ring with zero free slots blocks the
+        sender until the receiver consumes chunks and publishes the
+        tail (credit) update."""
+        edges = []
+        for peer, conn in self.conns.items():
+            sender = conn.sender
+            if sender is not None and sender.slots_free() <= 0:
+                edges.append((
+                    self.rank, peer,
+                    f"ring full: {self.nslots} chunk slot(s) "
+                    "outstanding, no tail update from the receiver"))
+        return edges
+
     def _note_piggyback(self, conn: "ChunkedConnection") -> None:
         """A chunk we are posting carries the current tail pointer in
         its credit field; count it when it communicates fresh
@@ -312,6 +326,7 @@ class ChunkedChannel(RdmaChannel):
             piece = cur.current(take - off)
             yield from self.node.membus.memcpy(
                 self.node.mem, payload.addr + off, piece.addr, len(piece),
+                # lint: allow(falsy-or-default, hint 0 means unhinted)
                 working_set=conn.put_ws_hint or None)
             cur.advance(len(piece))
             off += len(piece)
@@ -492,6 +507,7 @@ class ChunkedChannel(RdmaChannel):
             piece = cur.current(avail)
             yield from self.node.membus.memcpy(
                 self.node.mem, piece.addr, src.addr + moved, len(piece),
+                # lint: allow(falsy-or-default, hint 0 means unhinted)
                 working_set=conn.get_ws_hint or None)
             cur.advance(len(piece))
             moved += len(piece)

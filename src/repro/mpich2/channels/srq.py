@@ -320,13 +320,23 @@ class SrqChannel(RdmaChannel):
             done += take
             if seg[2] == 0:
                 q.popleft()
+                shadow = self.node.hca.shadow
+                if shadow is not None:
+                    shadow.on_srq_release(
+                        self._pool.srq, self._pool.slot_addr(seg[0]))
                 yield from self.ctx.post_srq(self._pool.srq,
                                              self._pool.make_rr(seg[0]))
                 conn.consumed_msgs += 1
-                threshold = max(1, self.ch_cfg.srq_credits // 2)
-                if conn.consumed_msgs - conn.last_credit_sent >= threshold:
+                if self._credit_due(conn):
                     yield from self._send_explicit_credit(conn)
         return done
+
+    def _credit_due(self, conn: SrqConnection) -> bool:
+        """Replenish when the unreported consumption reaches half the
+        window (the paper's threshold heuristic: amortize the credit
+        write without letting the sender run dry)."""
+        threshold = max(1, self.ch_cfg.srq_credits // 2)
+        return conn.consumed_msgs - conn.last_credit_sent >= threshold
 
     def _send_explicit_credit(self, conn: SrqConnection) -> Generator:
         """RDMA-write my cumulative consumed count into the peer's
@@ -340,6 +350,23 @@ class SrqChannel(RdmaChannel):
             conn.remote_credit_addr, conn.remote_credit_rkey,
             signaled=False)
         self._m_explicit_credits.inc()
+
+    # -- deadlock diagnosis ------------------------------------------------
+    def stall_edges(self) -> list:
+        """Post-mortem only: a peer whose credit window is exhausted
+        (even counting the unread replica) can never accept another
+        eager message until that peer consumes and replenishes."""
+        edges = []
+        for peer, conn in self.conns.items():
+            acked = max(conn.peer_consumed, conn.replica_credit())
+            window = self.ch_cfg.srq_credits
+            if conn.sent_msgs - acked >= window:
+                edges.append((
+                    self.rank, peer,
+                    f"SRQ credit window starved: sent="
+                    f"{conn.sent_msgs} acked={acked} window={window}, "
+                    "no replenish in flight"))
+        return edges
 
 
 @register("mux")

@@ -79,6 +79,20 @@ class LazyConnector:
         self.connects += 1
         ev.succeed(None)
 
+    def stall_edges(self) -> list:
+        """Post-mortem only (see :mod:`repro.obs.waitgraph`): a pair
+        whose entry is still an Event has a handshake that never
+        resolved, so both ranks wait on each other — the initiator on
+        the peer's REP, any coalesced rank on the wakeup."""
+        edges = []
+        for (lo, hi), state in self._pairs.items():
+            if state is not True:
+                reason = (f"lazy-connect handshake for pair "
+                          f"({lo}, {hi}) never completed")
+                edges.append((lo, hi, reason))
+                edges.append((hi, lo, reason))
+        return edges
+
     def _handshake(self, src: int, dest: int) -> Generator:
         """REQ/REP exchange with bounded, backed-off retries."""
         sim, cfg = self.sim, self.cfg

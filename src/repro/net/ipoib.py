@@ -65,7 +65,7 @@ class TcpStack:
         self.sim = sim
         self.node = node
         self.cfg = cfg
-        self.p = params or TcpParams()
+        self.p = TcpParams() if params is None else params
         #: last time an rx interrupt fired (for coalescing)
         self._last_irq = -1.0
         #: the softirq context is serial per CPU: inbound protocol

@@ -10,7 +10,10 @@ where those observations live:
 * :mod:`repro.obs.timeline` — span recorder with Chrome-trace export
   (one track per rank, one per HCA);
 * :mod:`repro.obs.msgtrace` — message-lifecycle tracer (the successor
-  of ``repro.mpi.trace``);
+  of ``repro.mpi.trace``), now also tracking per-rank vector clocks;
+* :mod:`repro.obs.waitgraph` — wait-for-graph deadlock diagnosis:
+  converts a drained-queue hang into a ``DeadlockError`` naming the
+  wait cycle and the last causal message per edge;
 * :mod:`repro.obs.report` — snapshot/diff/format helpers;
 * :mod:`repro.obs.gate` — machine-readable benchmark results
   (``BENCH_*.json``) and the regression gate against a committed

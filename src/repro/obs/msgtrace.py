@@ -15,7 +15,7 @@ memcpy/RDMA spans the channels record.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .timeline import NULL_TIMELINE, Timeline
 
@@ -33,6 +33,11 @@ class MessageRecord:
     t_sent: Optional[float] = None      # send request completed
     t_delivered: Optional[float] = None  # receive request completed
     unexpected: bool = False  # arrived before its receive was posted
+    #: sender's vector clock snapshot at post time (happens-before
+    #: witness for deadlock diagnosis); None when clocks are off
+    vc_send: Optional[Tuple[int, ...]] = None
+    #: receiver's vector clock right after the delivery merge
+    vc_deliver: Optional[Tuple[int, ...]] = None
 
     @property
     def latency(self) -> Optional[float]:
@@ -60,6 +65,11 @@ class MessageTracer:
         self.messages: List[MessageRecord] = []
         #: (src, dst, tag, context) -> FIFO of unmatched send records
         self._open: Dict[tuple, List[MessageRecord]] = {}
+        #: per-rank vector clocks: rank -> component per rank.  A
+        #: send ticks the sender's own component and snapshots; a
+        #: delivery merges (elementwise max) then ticks the receiver.
+        self.vc: Dict[int, List[int]] = {
+            dev.rank: [0] * world.nranks for dev in world.devices}
 
     @classmethod
     def attach(cls, world: Any, timeline: Optional[Timeline] = None
@@ -74,6 +84,13 @@ class MessageTracer:
 
     def _delivered_rec(self, rec: MessageRecord) -> None:
         rec.t_delivered = self._now()
+        clock = self.vc.get(rec.dst)
+        if clock is not None and rec.vc_send is not None:
+            for i, v in enumerate(rec.vc_send):
+                if v > clock[i]:
+                    clock[i] = v
+            clock[rec.dst] += 1
+            rec.vc_deliver = tuple(clock)
         self.timeline.async_span(
             f"rank{rec.src}", f"msg->{rec.dst} tag={rec.tag}",
             aid=len(self.messages), t0=rec.t_posted,
@@ -94,6 +111,10 @@ class MessageTracer:
             from ..mpich2.channels.base import iov_total
             rec = MessageRecord(dev.rank, dest, tag, context,
                                 iov_total(iov), tracer._now())
+            clock = tracer.vc.get(dev.rank)
+            if clock is not None:
+                clock[dev.rank] += 1
+                rec.vc_send = tuple(clock)
             tracer.messages.append(rec)
             key = (dev.rank, dest, tag, context)
             tracer._open.setdefault(key, []).append(rec)
@@ -140,6 +161,17 @@ class MessageTracer:
         dev._finish_inflight = _finish_inflight
 
     # -- analysis helpers --------------------------------------------------
+    def last_causal(self, src: int, dst: int
+                    ) -> Optional[MessageRecord]:
+        """The most recent delivered message ``src -> dst`` — the
+        last causal edge between the two ranks, used to annotate
+        wait-for-graph edges in deadlock diagnoses."""
+        for rec in reversed(self.messages):
+            if (rec.src == src and rec.dst == dst
+                    and rec.t_delivered is not None):
+                return rec
+        return None
+
     def delivered(self) -> List[MessageRecord]:
         return [m for m in self.messages if m.t_delivered is not None]
 

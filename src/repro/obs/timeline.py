@@ -131,6 +131,7 @@ class Timeline:
         events: List[tuple] = []  # (ts_us, order, event_dict)
         for s in self.spans:
             tid = tid_of(s.track)
+            # lint: allow(falsy-or-default, empty category gets a default)
             base = {"name": s.name, "cat": s.cat or "span",
                     "pid": pid, "tid": tid}
             if s.args:
@@ -141,6 +142,7 @@ class Timeline:
                            dict(base, ph="E", ts=s.t1 * 1e6)))
         for a in self.async_spans:
             tid = tid_of(a.track)
+            # lint: allow(falsy-or-default, empty category gets a default)
             base = {"name": a.name, "cat": a.cat or "async",
                     "pid": pid, "tid": tid, "id": a.aid}
             if a.args:
@@ -151,6 +153,7 @@ class Timeline:
                            dict(base, ph="e", ts=a.t1 * 1e6)))
         for i in self.instants:
             tid = tid_of(i.track)
+            # lint: allow(falsy-or-default, empty category gets a default)
             ev = {"name": i.name, "cat": i.cat or "instant", "ph": "i",
                   "ts": i.t * 1e6, "pid": pid, "tid": tid, "s": "t"}
             if i.args:

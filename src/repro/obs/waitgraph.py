@@ -1,0 +1,178 @@
+"""Wait-for-graph deadlock diagnosis (the runtime prong of ISSUE 10).
+
+A protocol bug in the credit/handshake machinery used to surface as a
+*hang*: the event queue drains, ``Simulator.run`` returns (or raises a
+bare count of blocked processes), and pytest times out with no clue.
+This module converts that into a diagnosis.  :class:`DeadlockDetector`
+registers itself as the simulator's ``deadlock_hook``; when the queue
+drains with live fibers the engine calls back and the detector builds:
+
+* a **wait-for graph** over ranks, from sources that know *why* a rank
+  cannot progress — each channel's ``stall_edges()`` (starved SRQ
+  credit windows, full chunk rings), the lazy connector's unresolved
+  handshakes, and unmatched posted receives on each CH3 device;
+* the **cycle** in that graph, when one exists (classic distributed
+  deadlock) — otherwise the blocked ranks with their reasons;
+* with a :class:`~repro.obs.msgtrace.MessageTracer` attached, the
+  **last causal message** along each cycle edge and the final vector
+  clocks, pinning down how far causality got before the silence.
+
+Everything here runs strictly post-mortem — after the queue is empty —
+so attaching a detector (without the tracer) costs nothing per event
+and leaves schedules, digests, and benchmark numbers bit-for-bit
+identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .msgtrace import MessageTracer
+
+__all__ = ["DeadlockDetector", "find_cycle"]
+
+#: a wait-for edge: (waiting rank, awaited rank, reason)
+Edge = Tuple[int, int, str]
+
+
+def find_cycle(edges: List[Edge]) -> Optional[List[int]]:
+    """Return one cycle in the wait-for graph as a rank list
+    ``[r0, r1, ..., r0]``, or ``None``.  Iterative three-color DFS;
+    deterministic (neighbors visited in sorted order)."""
+    adj: Dict[int, List[int]] = {}
+    for src, dst, _reason in edges:
+        bucket = adj.setdefault(src, [])
+        if dst not in bucket:
+            bucket.append(dst)
+    for bucket in adj.values():
+        bucket.sort()
+    color: Dict[int, int] = {}  # 1 = on stack, 2 = done
+    for root in sorted(adj):
+        if color.get(root):
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        path: List[int] = []
+        while stack:
+            node, idx = stack.pop()
+            if idx == 0:
+                color[node] = 1
+                path.append(node)
+            neighbors = adj.get(node, [])
+            advanced = False
+            while idx < len(neighbors):
+                nxt = neighbors[idx]
+                idx += 1
+                state = color.get(nxt, 0)
+                if state == 1:
+                    return path[path.index(nxt):] + [nxt]
+                if state == 0:
+                    stack.append((node, idx))
+                    stack.append((nxt, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                path.pop()
+    return None
+
+
+class DeadlockDetector:
+    """Builds the wait-for graph for a world and formats the
+    diagnosis the engine appends to its ``DeadlockError``."""
+
+    def __init__(self, world: Any,
+                 tracer: Optional[MessageTracer] = None) -> None:
+        self.world = world
+        self.tracer = tracer
+
+    @classmethod
+    def attach(cls, world: Any, with_tracer: bool = False
+               ) -> "DeadlockDetector":
+        """Arm ``world`` with deadlock diagnosis.
+
+        ``with_tracer=True`` also attaches a
+        :class:`~repro.obs.msgtrace.MessageTracer` for vector clocks
+        and last-causal-message annotations; its wrappers are pure
+        Python bookkeeping (no yields), so runs stay
+        timing-identical, but harnesses that gate on zero overhead
+        can leave it off — the graph and cycle work regardless."""
+        tracer = MessageTracer.attach(world) if with_tracer else None
+        detector = cls(world, tracer)
+        world.sim.deadlock_hook = detector.diagnose
+        return detector
+
+    # -- the graph -----------------------------------------------------
+    def edges(self) -> List[Edge]:
+        """Collect wait-for edges from every diagnosis source.
+        Post-mortem only: never called while the simulation runs."""
+        out: List[Edge] = []
+        seen: Set[Tuple[int, int, str]] = set()
+
+        def add(src: int, dst: int, reason: str) -> None:
+            key = (src, dst, reason)
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+
+        connector = None
+        for dev in self.world.devices:
+            for edge in dev.channel.stall_edges():
+                add(*edge)
+            if getattr(dev, "connector", None) is not None:
+                connector = dev.connector
+            # an unmatched posted receive: the rank sits in recv()
+            # waiting for a message the peer never sent
+            for pr in dev.posted:
+                what = (f"posted receive (tag={pr.tag}, "
+                        f"context={pr.context}) never matched")
+                if pr.source >= 0:
+                    add(dev.rank, pr.source, what)
+                else:
+                    for peer in range(self.world.nranks):
+                        if peer != dev.rank:
+                            add(dev.rank, peer,
+                                what + " (any source)")
+        if connector is not None:
+            for edge in connector.stall_edges():
+                add(*edge)
+        return out
+
+    # -- the diagnosis -------------------------------------------------
+    def diagnose(self, blocked: List[Any]) -> str:
+        lines: List[str] = []
+        names = sorted(p.name for p in blocked)
+        lines.append("blocked fiber(s): " + ", ".join(names))
+        edges = self.edges()
+        if edges:
+            lines.append("wait-for graph:")
+            for src, dst, reason in edges:
+                lines.append(f"  rank {src} -> rank {dst}: {reason}")
+        else:
+            lines.append("wait-for graph: no explained edges "
+                         "(blocked outside the channel protocols)")
+        cycle = find_cycle(edges)
+        if cycle is not None:
+            arrow = " -> ".join(f"rank {r}" for r in cycle)
+            lines.append(f"deadlock cycle: {arrow}")
+            for a, b in zip(cycle, cycle[1:]):
+                lines.append(self._edge_detail(a, b))
+        if self.tracer is not None:
+            lines.append("final vector clocks: " + ", ".join(
+                f"rank {r}={tuple(c)}"
+                for r, c in sorted(self.tracer.vc.items())))
+        return "\n".join(lines)
+
+    def _edge_detail(self, a: int, b: int) -> str:
+        """Annotate cycle edge ``a -> b`` with the last causal
+        message ``a`` received from ``b`` — the final thing that
+        *did* happen on the silent edge."""
+        if self.tracer is None:
+            return (f"  edge rank {a} -> rank {b}: "
+                    "no message trace attached")
+        rec = self.tracer.last_causal(b, a)
+        if rec is None:
+            return (f"  edge rank {a} -> rank {b}: no message from "
+                    f"rank {b} ever delivered to rank {a}")
+        return (f"  edge rank {a} -> rank {b}: last causal message "
+                f"{b}->{a} tag={rec.tag} {rec.size}B delivered at "
+                f"t={rec.t_delivered:.9f} (vc={rec.vc_deliver})")

@@ -180,7 +180,7 @@ class Process(Event):
     """A running generator; also an event that fires when the generator
     returns (value = the generator's return value) or raises."""
 
-    __slots__ = ("gen", "name", "_waiting_on", "daemon")
+    __slots__ = ("gen", "name", "_waiting_on", "daemon", "_live_key")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = "",
                  daemon: bool = False):
@@ -188,13 +188,17 @@ class Process(Event):
         if not hasattr(gen, "send"):
             raise TypeError(f"Process needs a generator, got {gen!r}")
         self.gen = gen
+        # lint: allow(falsy-or-default, empty name means auto-name)
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Event] = None
         #: daemon processes (hardware service loops) do not count as
         #: live work for deadlock detection.
         self.daemon = daemon
+        self._live_key = -1
         if not daemon:
             sim._live_processes += 1
+            self._live_key = next(sim._live_seq)
+            sim._live[self._live_key] = self
         sim._schedule_call(self._resume, _InitialEvent(sim))
 
     @property
@@ -247,6 +251,7 @@ class Process(Event):
     def _finish(self, ok: bool, value: Any) -> None:
         if not self.daemon:
             self.sim._live_processes -= 1
+            self.sim._live.pop(self._live_key, None)
         if ok:
             self.succeed(value)
         else:
@@ -374,6 +379,19 @@ class Simulator:
         self._times: List[float] = []
         self._seq = itertools.count()
         self._live_processes = 0
+        #: live non-daemon processes by creation order, for deadlock
+        #: diagnosis (who is blocked, and on what); keyed by a
+        #: dedicated counter so tie-break sequencing is untouched
+        self._live: Dict[int, "Process"] = {}
+        self._live_seq = itertools.count()
+        #: optional diagnoser called when the queue drains with live
+        #: processes: receives the blocked processes, returns extra
+        #: text for the DeadlockError (see repro.obs.waitgraph).
+        #: Attaching a hook also arms the deadlock check for bounded
+        #: ``run(until=...)`` calls, which otherwise report a drained
+        #: queue as an ordinary return (legacy hang behaviour).
+        self.deadlock_hook: Optional[Callable[[List["Process"]], str]] \
+            = None
         self._crashed: List = []
         #: the active perturbation seed (None = insertion order)
         self.tie_seed = tie_seed
@@ -554,11 +572,21 @@ class Simulator:
                 self._drain_fifo(t, bucket)
             else:
                 self._drain_heap(t, bucket)
-        if not times and self._live_processes > 0 and until is None:
-            raise DeadlockError(
+        if (not times and self._live_processes > 0
+                and (until is None or self.deadlock_hook is not None)):
+            message = (
                 f"{self._live_processes} process(es) blocked forever "
                 f"at t={self.now}"
             )
+            if self.deadlock_hook is not None:
+                blocked = list(self._live.values())
+                try:
+                    diagnosis = self.deadlock_hook(blocked)
+                except Exception as exc:  # pragma: no cover - defensive
+                    diagnosis = f"(deadlock diagnosis failed: {exc!r})"
+                if diagnosis:
+                    message = f"{message}\n{diagnosis}"
+            raise DeadlockError(message)
         return self.now
 
     def _drain_fifo(self, t: float, bucket: List) -> None:

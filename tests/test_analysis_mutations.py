@@ -1,7 +1,8 @@
-"""The acceptance gate for the analysis tooling: the linter plus the
-shadow sanitizer must catch at least 8 of the 12 canned protocol bugs
-in ``repro/check/mutations.py`` — without ever invoking the
-differential oracle."""
+"""The acceptance gate for the analysis tooling: the linter, the
+protocol model checker, and the shadow sanitizer + deadlock detector
+together must catch at least 13 of the 15 canned protocol bugs in
+``repro/check/mutations.py`` — without ever invoking the differential
+oracle."""
 
 import pytest
 
@@ -27,10 +28,27 @@ def results(request):
 
 
 class TestCorpusCoverage:
-    def test_catches_at_least_eight(self, results):
+    def test_catches_at_least_thirteen(self, results):
         caught = [r.name for r in results if r.caught]
-        assert len(results) == len(CATALOG) == 12
-        assert len(caught) >= 8, mutcheck.format_results(results)
+        assert len(results) == len(CATALOG) == 15
+        assert len(caught) >= 13, mutcheck.format_results(results)
+
+    def test_model_prong_carries_the_interleaving_bugs(self, results):
+        """The four bugs with no lintable source shape are proven by
+        exhaustive exploration of their transcribed state machines —
+        a minimal counterexample trace, no simulation run at all."""
+        by_name = {r.name: r for r in results}
+        expected_model = {
+            "srq-pool-write-race": "invariant",
+            "srq-replenish-off-by-one": "deadlock",
+            "lazy-drop-rep": "deadlock",
+            "lazy-lost-wakeup": "deadlock",
+        }
+        for name, kind in expected_model.items():
+            r = by_name[name]
+            assert r.caught_model, name
+            assert r.model_result.violation.kind == kind, name
+            assert r.model_result.violation.trace, name
 
     def test_static_prong_carries_the_shape_bugs(self, results):
         by_name = {r.name: r for r in results}
@@ -59,6 +77,18 @@ class TestCorpusCoverage:
         assert "use-after-deregister" in check.shadow_kinds
         assert check.shadow_error is not None
         assert "ShadowViolation" in check.shadow_error
+
+    def test_credit_leak_diagnosed_at_runtime_too(self):
+        """Even if the lint shape check were deleted, the leaked
+        credit surfaces dynamically: the wait-for-graph detector
+        converts the starved window into a DeadlockError naming the
+        cycle instead of a silent hang."""
+        mut = next(m for m in CATALOG if m.name == "srq-credit-leak")
+        check = mutcheck.run_under_shadow(mut)
+        assert check.caught_dynamic
+        assert check.deadlock_error is not None
+        assert "DeadlockError" in check.deadlock_error
+        assert "starved" in check.deadlock_error
 
     def test_corrupt_payload_is_the_known_escape(self, results):
         """A pure data-value flip has no protocol-shape signature and

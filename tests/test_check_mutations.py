@@ -8,12 +8,12 @@ from repro.check import oracle
 
 def test_catalog_names_are_unique():
     names = [m.name for m in CATALOG]
-    assert len(names) == len(set(names)) == 12
+    assert len(names) == len(set(names)) == 15
 
 
 def test_smoke_detects_the_canned_bugs():
     """The hard floor is 8 (ISSUE constraint); the catalog is
-    currently tuned so all 12 are caught — if one regresses below the
+    currently tuned so all 15 are caught — if one regresses below the
     floor the harness has gone blind to a whole bug class."""
     results = run_smoke()
     detected = [r.name for r in results if r.detected]
@@ -39,7 +39,9 @@ def test_specific_detection_channels():
     """Pin the *kind* of signal three representative mutations
     produce, so a weakening oracle cannot pass by accident: a matching
     bug must surface as a matching-rules violation, a data bug as a
-    model divergence, a flow-control bug as a hang."""
+    model divergence, a flow-control bug as a *diagnosed deadlock*
+    (the wait-for-graph detector converts what used to be a silent
+    hang into a DeadlockError naming the cycle)."""
     by_name = {m.name: m for m in CATALOG}
 
     def run_one(name):
@@ -59,12 +61,16 @@ def test_specific_detection_channels():
     assert any("diverges from expected model" in f for f in failures)
 
     obs, failures = run_one("ignore-credits")
-    assert obs.hang and any("hang" in f for f in failures)
+    assert obs.error and "DeadlockError" in obs.error
+    assert any("run error" in f for f in failures)
 
-    # the SRQ additions: a leaked credit starves the window (hang);
+    # the SRQ additions: a leaked credit starves the window (now a
+    # diagnosed deadlock naming the starved edge, not a silent hang);
     # an early slot recycle breaks the pool's WQE accounting (error)
     obs, failures = run_one("srq-credit-leak")
-    assert obs.hang and any("hang" in f for f in failures)
+    assert obs.error and "DeadlockError" in obs.error
+    assert "starved" in obs.error
+    assert any("run error" in f for f in failures)
 
     obs, failures = run_one("srq-pool-write-race")
     assert obs.error and any("run error" in f for f in failures)
